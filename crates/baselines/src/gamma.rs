@@ -1,0 +1,227 @@
+//! Gamma-SNN: the Gustavson's dataflow baseline (Section V).
+//!
+//! Gamma (ASPLOS'21) processes one row of `A` at a time: every non-zero
+//! `A[m, k]` fetches row `k` of `B` from the FiberCache and a hardware
+//! merger folds the scaled rows into the output row, emitting one merged
+//! element per cycle. The SNN adaptation runs timesteps sequentially, so:
+//!
+//! * every `B`-row fetch repeats per timestep → the `t` dimension multiplies
+//!   FiberCache (SRAM) traffic (~13× LoAS in Fig. 13/14);
+//! * partial output rows stay on chip through the merger, keeping off-chip
+//!   traffic the lowest of the baselines, but the inflated partial-row
+//!   working set raises the cache miss rate (Fig. 14 discussion).
+
+use crate::common::Machine;
+use loas_core::{Accelerator, LayerReport, PreparedLayer};
+use loas_sim::TrafficClass;
+
+/// Microarchitectural parameters of the Gamma-SNN model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaParams {
+    /// Row-processing PEs (paper: 16).
+    pub pes: usize,
+    /// Merged elements emitted per cycle per PE (Gamma's merger: 1).
+    pub merge_rate: u64,
+    /// Merger radix: a row touching more than `radix` fibers needs extra
+    /// merge rounds through partial rows (Gamma's 64-way merger).
+    pub merge_radix: usize,
+    /// Weight precision in bits.
+    pub weight_bits: usize,
+    /// Psum precision in bytes (for partial output rows).
+    pub psum_bytes: usize,
+}
+
+impl Default for GammaParams {
+    fn default() -> Self {
+        GammaParams {
+            pes: 16,
+            merge_rate: 1,
+            merge_radix: 64,
+            weight_bits: 8,
+            psum_bytes: 2,
+        }
+    }
+}
+
+impl GammaParams {
+    /// Merge rounds needed for `fibers` input fibers: `ceil(log_radix)`,
+    /// minimum one.
+    pub fn merge_rounds(&self, fibers: usize) -> u64 {
+        let mut rounds = 1u64;
+        let mut reach = self.merge_radix;
+        while reach < fibers {
+            rounds += 1;
+            reach = reach.saturating_mul(self.merge_radix);
+        }
+        rounds
+    }
+}
+
+/// The Gamma-SNN baseline model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GammaSnn {
+    params: GammaParams,
+}
+
+impl GammaSnn {
+    /// Creates the model with the given parameters.
+    pub fn new(params: GammaParams) -> Self {
+        GammaSnn { params }
+    }
+}
+
+impl Accelerator for GammaSnn {
+    fn name(&self) -> String {
+        "Gamma-SNN".to_owned()
+    }
+
+    fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
+        let p = self.params;
+        let shape = layer.shape;
+        let mut machine = Machine::standard();
+        let coord_bits = loas_sparse::coordinate_bits(shape.n);
+
+        // ---- Off-chip: A as per-timestep spike-train row fibers (the raw
+        // train doubles as the coordinate mask, like SparTen — coordinate
+        // CSR would *exceed* dense at SNN densities); B fibers once (the
+        // FiberCache keeps them resident); output rows leave compressed
+        // after the merger; partial rows merge on chip (no psum DRAM
+        // traffic — Gust's strength).
+        machine.hbm.read_bits(
+            TrafficClass::Input,
+            (shape.m * shape.t * (shape.k + loas_sparse::POINTER_BITS)) as u64,
+        );
+        // B rows arrive as bitmask fibers (the shared weight format of this
+        // substrate): N-bit row mask + pointer per row, read once into the
+        // FiberCache.
+        machine.hbm.read_bits(
+            TrafficClass::Format,
+            (shape.k * (shape.n + loas_sparse::POINTER_BITS)) as u64,
+        );
+        let line = machine.cache.line_bytes() as u64;
+        // Gamma has no output-side spike compressor (that is a LoAS
+        // contribution): output spike trains leave dense.
+        machine
+            .hbm
+            .write_bits(TrafficClass::Output, (shape.m * shape.n * shape.t) as u64);
+
+        // Address map: B rows live in the FiberCache; partial output rows
+        // contend with them for capacity (the Fig. 14 miss-rate effect).
+        let mut b_row_addr = vec![0u64; shape.k];
+        let mut addr = 0u64;
+        for (k, slot) in b_row_addr.iter_mut().enumerate() {
+            *slot = addr;
+            addr += ((layer.b_row_nnz[k] * (p.weight_bits + coord_bits)).div_ceil(8)) as u64;
+        }
+        let psum_row_base = addr;
+        let psum_row_bytes = (shape.n * p.psum_bytes) as u64;
+
+        let mut compute = 0u64;
+        let mut products = 0u64;
+        let tiles = shape.m.div_ceil(p.pes);
+        for tile in 0..tiles {
+            let rows = (tile * p.pes)..((tile + 1) * p.pes).min(shape.m);
+            let mut worst = 0u64;
+            for m in rows {
+                let mut row_cycles = 0u64;
+                for (t, plane) in layer.workload.spikes.planes().iter().enumerate() {
+                    let mut fibers = 0usize;
+                    let mut row_products = 0u64;
+                    for k in plane.row(m).iter_ones() {
+                        let nnz_b = layer.b_row_nnz[k] as u64;
+                        // Fetch B row k from the FiberCache (repeated every
+                        // timestep and every row of A that needs it).
+                        let bytes =
+                            ((layer.b_row_nnz[k] * (p.weight_bits + coord_bits)).div_ceil(8))
+                                as u64;
+                        let missed = machine
+                            .cache
+                            .access_range(b_row_addr[k], bytes.max(1), TrafficClass::Weight);
+                        machine.hbm.read(TrafficClass::Weight, missed * line);
+                        row_products += nnz_b.max(1);
+                        fibers += 1;
+                    }
+                    // Merge: one element per cycle through the radix-64
+                    // merger; more fibers than the radix force extra rounds
+                    // through partial rows (re-read + re-write).
+                    let rounds = p.merge_rounds(fibers);
+                    row_cycles += (row_products / p.merge_rate) * rounds;
+                    products += row_products;
+                    // The partial output row streams through the cache once
+                    // per timestep (write + readback by the merger).
+                    machine.cache.access_range(
+                        psum_row_base + (m % p.pes) as u64 * psum_row_bytes,
+                        psum_row_bytes,
+                        TrafficClass::Psum,
+                    );
+                    machine.cache.write(TrafficClass::Psum, psum_row_bytes);
+                    let _ = t;
+                }
+                worst = worst.max(row_cycles);
+            }
+            compute += worst;
+        }
+
+        machine.stats.ops.accumulates = products;
+        machine.stats.ops.merges = products;
+        machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
+        machine.finish(&layer.name, &self.name(), compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_core::Loas;
+    use loas_workloads::{LayerShape, SparsityProfile, WorkloadGenerator};
+
+    fn layer() -> PreparedLayer {
+        let profile = SparsityProfile::from_percentages(70.0, 60.0, 66.0, 96.0).unwrap();
+        let w = WorkloadGenerator::default()
+            .generate("gamma-test", LayerShape::new(4, 64, 32, 256), &profile)
+            .unwrap();
+        PreparedLayer::new(&w)
+    }
+
+    #[test]
+    fn sram_traffic_far_exceeds_loas() {
+        // The t-dimension multiplies FiberCache traffic (paper: ~13x LoAS).
+        let l = layer();
+        let gamma = GammaSnn::default().run_layer(&l);
+        let loas = Loas::default().run_layer(&l);
+        assert!(
+            gamma.stats.sram.total() > 3 * loas.stats.sram.total(),
+            "gamma {} vs loas {}",
+            gamma.stats.sram.total(),
+            loas.stats.sram.total()
+        );
+    }
+
+    #[test]
+    fn no_psum_dram_traffic() {
+        let report = GammaSnn::default().run_layer(&layer());
+        assert_eq!(report.stats.dram.get(TrafficClass::Psum), 0);
+    }
+
+    #[test]
+    fn offchip_below_gospa_snn() {
+        // Fig. 13: among the baselines Gamma-SNN stays well below the
+        // psum-spilling OP design off chip (Gust's strength).
+        let l = layer();
+        let gamma = GammaSnn::default().run_layer(&l);
+        let gospa = crate::gospa::GospaSnn::default().run_layer(&l);
+        assert!(
+            gamma.stats.dram.total() <= gospa.stats.dram.total(),
+            "gamma {} vs gospa {}",
+            gamma.stats.dram.total(),
+            gospa.stats.dram.total()
+        );
+    }
+
+    #[test]
+    fn merges_counted() {
+        let report = GammaSnn::default().run_layer(&layer());
+        assert!(report.stats.ops.merges > 0);
+        assert_eq!(report.stats.ops.merges, report.stats.ops.accumulates);
+    }
+}

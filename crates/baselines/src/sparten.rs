@@ -1,0 +1,227 @@
+//! SparTen-SNN: the inner-product (IP) dataflow baseline (Section V).
+//!
+//! SparTen (MICRO'19) is an inner-join spMspM accelerator. The paper's
+//! SparTen-SNN baseline removes the multipliers, keeps 16 PEs and the shared
+//! 256 KB SRAM, and — conservatively — places the timestep loop innermost
+//! but processes it **sequentially**: for every output pair `(m, n)` the
+//! inner-join runs once per timestep against that timestep's spike train.
+//!
+//! Modeling notes (Section II-D):
+//! * The spike train itself is the bitmask *and* the data, so only one fast
+//!   prefix-sum circuit is needed (footnote 10) — but every spike bit, 0 or
+//!   1, must be fetched from DRAM: `A` travels dense (`M·K·T` bits).
+//! * The expensive inner-join runs `T` extra rounds per output (Fig. 4),
+//!   re-scanning `bm-B` each round and re-fetching each matched weight per
+//!   timestep (no temporal reuse of matched pairs).
+//! * Between timestep rounds the join pipeline drains and restarts
+//!   ([`SparTenParams::timestep_restart_cycles`]).
+
+use crate::common::{Machine, BASELINE_PES};
+use loas_core::{Accelerator, LayerReport, PreparedLayer};
+use loas_sim::{Cycle, TrafficClass};
+use loas_sparse::POINTER_BITS;
+
+/// Microarchitectural parameters of the SparTen-SNN model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparTenParams {
+    /// Processing elements (paper: 16).
+    pub pes: usize,
+    /// Inner-join chunk width in bits (SparTen uses 128-bit bitmask words).
+    pub chunk_bits: usize,
+    /// Pipeline drain/refill cycles between sequential timestep rounds of
+    /// the same output pair.
+    pub timestep_restart_cycles: u64,
+    /// Weight precision in bits.
+    pub weight_bits: usize,
+}
+
+impl Default for SparTenParams {
+    fn default() -> Self {
+        SparTenParams {
+            pes: BASELINE_PES,
+            chunk_bits: 128,
+            timestep_restart_cycles: 8,
+            weight_bits: 8,
+        }
+    }
+}
+
+/// The SparTen-SNN baseline model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SparTenSnn {
+    params: SparTenParams,
+}
+
+impl SparTenSnn {
+    /// Creates the model with default (paper) parameters.
+    pub fn new(params: SparTenParams) -> Self {
+        SparTenSnn { params }
+    }
+}
+
+impl Accelerator for SparTenSnn {
+    fn name(&self) -> String {
+        "SparTen-SNN".to_owned()
+    }
+
+    fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
+        let p = self.params;
+        let shape = layer.shape;
+        let mut machine = Machine::standard();
+        let chunks = (shape.k.div_ceil(p.chunk_bits)).max(1) as u64;
+
+        // ---- Off-chip: A travels dense (no compression possible on raw
+        // spike trains used as bitmask+data) and is charged through the
+        // cache tags, as are the B bitmask fibers — so the T x re-scan of
+        // bm-B spills to DRAM whenever B exceeds the shared 256 KB cache
+        // (Section II-D: "the timesteps will impose multiple extra
+        // rounds"). Matched weight values stream once (compulsory); outputs
+        // are dense spike trains.
+        let (b_payload, _) = layer.b_compressed_bits(p.weight_bits);
+        machine.hbm.read_bits(TrafficClass::Weight, b_payload);
+        machine.hbm.write_bits(
+            TrafficClass::Output,
+            (shape.m * shape.n * shape.t) as u64,
+        );
+        let line = machine.cache.line_bytes() as u64;
+
+        // Address map for cache tags: A planes then B fibers.
+        let a_plane_bytes = (shape.m * shape.k).div_ceil(8) as u64;
+        let b_base = a_plane_bytes * shape.t as u64;
+        let mut b_addr = Vec::with_capacity(shape.n);
+        let mut addr = b_base;
+        for fiber in &layer.b_fibers {
+            b_addr.push(addr);
+            addr += fiber.storage_bits(p.weight_bits).div_ceil(8) as u64;
+        }
+
+        let mut compute = 0u64;
+        let planes = layer.workload.spikes.planes();
+        let row_bytes = shape.k.div_ceil(8) as u64;
+
+        let mut tile_start = 0usize;
+        while tile_start < shape.m {
+            let tile_end = (tile_start + p.pes).min(shape.m);
+            let rows = tile_start..tile_end;
+            // Each PE holds its row's spike trains (per timestep) while the
+            // column loop sweeps: one SRAM pass per (row, t) per layer.
+            for m in rows.clone() {
+                for (t, _) in planes.iter().enumerate() {
+                    let missed = machine.cache.access_range(
+                        a_plane_bytes * t as u64 + (m as u64) * row_bytes,
+                        row_bytes,
+                        TrafficClass::Input,
+                    );
+                    machine.hbm.read(TrafficClass::Input, missed * line);
+                }
+            }
+            // SparTen assigns (row-chunk, column-chunk) pairs to PEs
+            // greedily, so unlike LoAS it keeps all 16 PEs busy even when
+            // the tile has fewer than 16 rows: account work at pair
+            // granularity divided across PEs.
+            let mut tile_work = 0u64;
+            for (n, fiber_b) in layer.b_fibers.iter().enumerate() {
+                let bm_b = fiber_b.bitmask();
+                let b_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
+                // bm-B is re-broadcast once per timestep round (the join
+                // unit scans it anew each round); rounds that fall out of
+                // the cache refetch from DRAM.
+                for _t in 0..shape.t {
+                    let missed = machine
+                        .cache
+                        .access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
+                    machine.hbm.read(TrafficClass::Format, missed * line);
+                }
+                for m in rows.clone() {
+                    for plane in planes {
+                        let matches_t =
+                            plane.row(m).and_count(bm_b).expect("equal K") as u64;
+                        tile_work +=
+                            chunks + matches_t + p.timestep_restart_cycles + 1; // LIF step
+                        // Matched weights fetched per timestep round: no
+                        // temporal reuse (Fig. 4's inefficiency).
+                        machine.cache.read_untagged(
+                            TrafficClass::Weight,
+                            (matches_t * p.weight_bits as u64).div_ceil(8),
+                        );
+                        machine.stats.ops.accumulates += matches_t;
+                        machine.stats.ops.fast_prefix_cycles += chunks + matches_t;
+                        machine.stats.ops.lif_updates += 1;
+                    }
+                }
+            }
+            compute += tile_work.div_ceil(p.pes as u64);
+            // Dense output spike trains written per tile.
+            for _m in rows {
+                machine.cache.write(
+                    TrafficClass::Output,
+                    (shape.n * shape.t).div_ceil(8) as u64,
+                );
+            }
+            tile_start = tile_end;
+        }
+        let _ = Cycle(compute);
+        machine.finish(&layer.name, &self.name(), compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_core::Loas;
+    use loas_workloads::{LayerShape, SparsityProfile, WorkloadGenerator};
+
+    fn layer() -> PreparedLayer {
+        let profile = SparsityProfile::from_percentages(80.0, 70.0, 76.0, 95.0).unwrap();
+        let w = WorkloadGenerator::default()
+            .generate("sparten-test", LayerShape::new(4, 32, 16, 256), &profile)
+            .unwrap();
+        PreparedLayer::new(&w)
+    }
+
+    #[test]
+    fn slower_than_loas_on_dual_sparse_workloads() {
+        let l = layer();
+        let sparten = SparTenSnn::default().run_layer(&l);
+        let loas = Loas::default().run_layer(&l);
+        assert!(
+            sparten.stats.cycles > loas.stats.cycles,
+            "sequential timesteps must cost more: sparten {} vs loas {}",
+            sparten.stats.cycles.get(),
+            loas.stats.cycles.get()
+        );
+    }
+
+    #[test]
+    fn fetches_dense_input_spikes() {
+        // A is charged at cache-line granularity through the tags: the
+        // total must be the dense footprint within line-rounding effects.
+        let l = layer();
+        let report = SparTenSnn::default().run_layer(&l);
+        let dense_bytes = l.a_dense_bits().div_ceil(8);
+        let input = report.stats.dram.get(TrafficClass::Input);
+        assert!(
+            input >= dense_bytes / 2 && input <= dense_bytes * 2,
+            "input {input} vs dense {dense_bytes}"
+        );
+    }
+
+    #[test]
+    fn accumulates_scale_with_timesteps() {
+        // Sequential timesteps re-run the join: total accumulates equal the
+        // per-timestep match sum, which exceeds LoAS's packed matches.
+        let l = layer();
+        let sparten = SparTenSnn::default().run_layer(&l);
+        let loas = Loas::default().run_layer(&l);
+        assert!(sparten.stats.ops.fast_prefix_cycles > loas.stats.ops.fast_prefix_cycles);
+    }
+
+    #[test]
+    fn sram_traffic_exceeds_loas() {
+        // The T x re-broadcast of bm-B (Fig. 4) shows up as on-chip traffic.
+        let l = layer();
+        let sparten = SparTenSnn::default().run_layer(&l);
+        let loas = Loas::default().run_layer(&l);
+        assert!(sparten.stats.sram.total() > 2 * loas.stats.sram.total());
+    }
+}

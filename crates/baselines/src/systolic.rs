@@ -1,0 +1,70 @@
+//! ScaleSim-style analytical model of a dense output-stationary systolic
+//! array — the substrate for the PTB and Stellar baselines (the paper uses
+//! ScaleSim for both, Section VI-B).
+
+use loas_sim::Cycle;
+
+/// An `rows x cols` output-stationary systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    /// PE rows (mapped to output neurons).
+    pub rows: usize,
+    /// PE columns (mapped to timesteps / time-windows).
+    pub cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a degenerate geometry.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate systolic array");
+        SystolicArray { rows, cols }
+    }
+
+    /// Number of output-stationary passes to cover `outputs` outputs with
+    /// `rows` lanes.
+    pub fn passes(&self, outputs: u64) -> u64 {
+        outputs.div_ceil(self.rows as u64)
+    }
+
+    /// Cycles for one output-stationary pass with an effective reduction
+    /// depth of `k_eff` (fill + drain included).
+    pub fn pass_cycles(&self, k_eff: u64) -> u64 {
+        k_eff + self.rows as u64 + self.cols as u64 - 1
+    }
+
+    /// Total cycles to produce `outputs` outputs at reduction depth `k_eff`.
+    pub fn total_cycles(&self, outputs: u64, k_eff: u64) -> Cycle {
+        Cycle(self.passes(outputs) * self.pass_cycles(k_eff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_accounting() {
+        let array = SystolicArray::new(16, 4);
+        assert_eq!(array.passes(16), 1);
+        assert_eq!(array.passes(17), 2);
+        assert_eq!(array.pass_cycles(100), 100 + 16 + 4 - 1);
+    }
+
+    #[test]
+    fn total_cycles_scale_linearly() {
+        let array = SystolicArray::new(16, 4);
+        let one = array.total_cycles(16, 64).get();
+        let two = array.total_cycles(32, 64).get();
+        assert_eq!(two, 2 * one);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_rows_rejected() {
+        SystolicArray::new(0, 4);
+    }
+}

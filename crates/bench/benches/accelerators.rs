@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the accelerator simulators themselves: one
+//! representative dual-sparse layer per design (simulation throughput, not
+//! modeled hardware performance — that is what `repro` reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
+use loas_core::{Accelerator, Loas, PreparedLayer};
+use loas_workloads::networks::profiles;
+use loas_workloads::{LayerShape, WorkloadGenerator};
+use std::hint::black_box;
+
+fn bench_layer() -> PreparedLayer {
+    let workload = WorkloadGenerator::default()
+        .generate(
+            "bench-layer",
+            LayerShape::new(4, 32, 64, 1152),
+            &profiles::vgg16(),
+        )
+        .expect("profile feasible");
+    PreparedLayer::new(&workload)
+}
+
+fn bench_designs(c: &mut Criterion) {
+    let layer = bench_layer();
+    let mut group = c.benchmark_group("simulate_layer");
+    group.bench_function("loas", |b| {
+        b.iter(|| black_box(Loas::default().run_layer(&layer)))
+    });
+    group.bench_function("loas_verified", |b| {
+        b.iter(|| {
+            black_box(
+                Loas::default()
+                    .with_verification(true)
+                    .run_layer(&layer),
+            )
+        })
+    });
+    group.bench_function("sparten_snn", |b| {
+        b.iter(|| black_box(SparTenSnn::default().run_layer(&layer)))
+    });
+    group.bench_function("gospa_snn", |b| {
+        b.iter(|| black_box(GospaSnn::default().run_layer(&layer)))
+    });
+    group.bench_function("gamma_snn", |b| {
+        b.iter(|| black_box(GammaSnn::default().run_layer(&layer)))
+    });
+    group.bench_function("ptb", |b| {
+        b.iter(|| black_box(Ptb::default().run_layer(&layer)))
+    });
+    group.bench_function("stellar", |b| {
+        b.iter(|| black_box(Stellar::default().run_layer(&layer)))
+    });
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let workload = WorkloadGenerator::default()
+        .generate(
+            "bench-prep",
+            LayerShape::new(4, 32, 64, 1152),
+            &profiles::vgg16(),
+        )
+        .expect("profile feasible");
+    c.bench_function("prepare_layer", |b| {
+        b.iter(|| black_box(PreparedLayer::new(&workload)))
+    });
+    c.bench_function("generate_layer", |b| {
+        b.iter(|| {
+            black_box(
+                WorkloadGenerator::default()
+                    .generate(
+                        "bench-gen",
+                        LayerShape::new(4, 16, 32, 512),
+                        &profiles::vgg16(),
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = accelerators;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_designs, bench_preparation
+}
+criterion_main!(accelerators);

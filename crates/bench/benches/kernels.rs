@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the core kernels: bitmask intersection,
+//! prefix-sum models, FTP-friendly compression, and the inner-join unit.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use loas_core::{InnerJoinUnit, LoasConfig, ParallelLif};
+use loas_snn::LifParams;
+use loas_sparse::prefix_sum::exclusive_prefix_sum;
+use loas_sparse::{Bitmask, PackedSpikes, SpikeFiber, WeightFiber};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_mask(rng: &mut StdRng, len: usize, density: f64) -> Bitmask {
+    Bitmask::from_bools((0..len).map(|_| rng.gen::<f64>() < density))
+}
+
+fn random_fibers(rng: &mut StdRng, k: usize) -> (SpikeFiber, WeightFiber) {
+    let row: Vec<PackedSpikes> = (0..k)
+        .map(|_| {
+            let bits = if rng.gen::<f64>() < 0.26 {
+                rng.gen_range(1u16..16)
+            } else {
+                0
+            };
+            PackedSpikes::from_bits(bits, 4).expect("t=4")
+        })
+        .collect();
+    let weights: Vec<i8> = (0..k)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.02 {
+                rng.gen_range(1i8..=127)
+            } else {
+                0
+            }
+        })
+        .collect();
+    (
+        SpikeFiber::from_packed_row(&row),
+        WeightFiber::from_weights(&weights),
+    )
+}
+
+fn bench_bitmask(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = random_mask(&mut rng, 2304, 0.26);
+    let b = random_mask(&mut rng, 2304, 0.02);
+    c.bench_function("bitmask_and_count_2304", |bench| {
+        bench.iter(|| black_box(a.and_count(&b).unwrap()))
+    });
+    c.bench_function("bitmask_rank_2304", |bench| {
+        bench.iter(|| black_box(a.rank(2000)))
+    });
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mask = random_mask(&mut rng, 128, 0.3);
+    c.bench_function("exclusive_prefix_sum_128", |bench| {
+        bench.iter(|| black_box(exclusive_prefix_sum(&mask)))
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let row: Vec<PackedSpikes> = (0..2304)
+        .map(|_| PackedSpikes::from_bits(rng.gen_range(0u16..16), 4).unwrap())
+        .collect();
+    c.bench_function("spike_fiber_compress_2304", |bench| {
+        bench.iter_batched(
+            || row.clone(),
+            |r| black_box(SpikeFiber::from_packed_row(&r)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_inner_join(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let (fiber_a, fiber_b) = random_fibers(&mut rng, 2304);
+    let unit = InnerJoinUnit::new(&LoasConfig::table3());
+    c.bench_function("inner_join_v_l8_fiber", |bench| {
+        bench.iter(|| black_box(unit.join(&fiber_a, &fiber_b)))
+    });
+}
+
+fn bench_plif(c: &mut Criterion) {
+    let plif = ParallelLif::new(LifParams::new(64, 1), 4);
+    let sums = [120i64, 30, -5, 200];
+    c.bench_function("plif_one_shot", |bench| {
+        bench.iter(|| black_box(plif.fire(&sums)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bitmask, bench_prefix_sum, bench_compression, bench_inner_join, bench_plif
+}
+criterion_main!(kernels);

@@ -1,0 +1,71 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation section and prints `paper vs measured` tables.
+
+use loas_bench::{experiments, Context};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [all | table1 table2 table3 table4 \
+                     fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablations ...]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut skip_next = false;
+    let mut wanted: Vec<String> = args
+        .into_iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|a| a.to_lowercase())
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = experiments::ALL_EXPERIMENTS
+            .iter()
+            .map(|(name, _)| (*name).to_owned())
+            .collect();
+    }
+    let mut ctx = if quick { Context::quick() } else { Context::full() };
+    if quick {
+        println!("(quick mode: shrunken workloads — trends hold, magnitudes shift)");
+    }
+    let mut failures = 0;
+    for name in &wanted {
+        let Some((_, runner)) = experiments::ALL_EXPERIMENTS
+            .iter()
+            .find(|(n, _)| n == name)
+        else {
+            eprintln!("unknown experiment `{name}`\n{USAGE}");
+            failures += 1;
+            continue;
+        };
+        let start = Instant::now();
+        let tables = runner(&mut ctx);
+        for table in &tables {
+            assert!(table.is_consistent(), "inconsistent table in {name}");
+            print!("{table}");
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = dir.join(format!("{}.csv", table.slug()));
+                std::fs::write(&path, table.to_csv()).expect("write csv");
+            }
+        }
+        println!("  [{name} done in {:.1?}]", start.elapsed());
+    }
+    if failures > 0 {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared experiment context: workload generation and simulation caching.
+
+use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
+use loas_core::{Accelerator, Loas, LoasConfig, NetworkReport, PreparedLayer};
+use loas_workloads::networks::NetworkSpec;
+use loas_workloads::{LayerWorkload, WorkloadGenerator};
+use std::collections::HashMap;
+
+/// The accelerators compared in Figs. 12-14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// SparTen-SNN (IP baseline).
+    SparTen,
+    /// GoSPA-SNN (OP baseline).
+    Gospa,
+    /// Gamma-SNN (Gustavson baseline).
+    Gamma,
+    /// LoAS without preprocessing.
+    Loas,
+    /// LoAS with fine-tuned preprocessing (masked workload + discard mode).
+    LoasFt,
+    /// PTB (dense, partially temporal parallel).
+    Ptb,
+    /// Stellar (dense, FS neurons).
+    Stellar,
+}
+
+impl Design {
+    /// The Fig. 12/13 comparison set.
+    pub const SPMSPM_SET: [Design; 5] = [
+        Design::SparTen,
+        Design::Gospa,
+        Design::Gamma,
+        Design::Loas,
+        Design::LoasFt,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::SparTen => "SparTen-SNN",
+            Design::Gospa => "GoSPA-SNN",
+            Design::Gamma => "Gamma-SNN",
+            Design::Loas => "LoAS",
+            Design::LoasFt => "LoAS(FT)",
+            Design::Ptb => "PTB",
+            Design::Stellar => "Stellar",
+        }
+    }
+
+    /// Whether this design consumes the fine-tuned (masked) workload.
+    pub fn uses_ft_workload(self) -> bool {
+        matches!(self, Design::LoasFt)
+    }
+}
+
+/// Caches generated workloads and simulation results across experiments so
+/// the repro harness generates each network exactly once.
+pub struct Context {
+    generator: WorkloadGenerator,
+    prepared: HashMap<String, Vec<PreparedLayer>>,
+    reports: HashMap<(String, Design), NetworkReport>,
+    /// Scale factor applied to layer `M`/`N` for quick (CI) runs.
+    quick: bool,
+}
+
+impl Context {
+    /// A full-fidelity context (used by the repro binary).
+    pub fn full() -> Self {
+        Context {
+            generator: WorkloadGenerator::default(),
+            prepared: HashMap::new(),
+            reports: HashMap::new(),
+            quick: false,
+        }
+    }
+
+    /// A reduced context for tests/benches: layer `M` and `N` are shrunk
+    /// (sparsity statistics and model behaviour are scale-free).
+    pub fn quick() -> Self {
+        Context {
+            generator: WorkloadGenerator::default(),
+            prepared: HashMap::new(),
+            reports: HashMap::new(),
+            quick: true,
+        }
+    }
+
+    /// Whether this context shrinks workloads.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The seeded generator.
+    pub fn generator(&self) -> &WorkloadGenerator {
+        &self.generator
+    }
+
+    fn shrink(&self, spec: &NetworkSpec) -> NetworkSpec {
+        if !self.quick {
+            return spec.clone();
+        }
+        let mut shrunk = spec.clone();
+        for layer in &mut shrunk.layers {
+            layer.shape.m = layer.shape.m.clamp(1, 16);
+            layer.shape.n = layer.shape.n.min(32);
+            layer.shape.k = layer.shape.k.min(512);
+        }
+        shrunk
+    }
+
+    /// Generates (once) and returns the prepared layers of a network —
+    /// base workloads, not FT-masked.
+    pub fn prepared_network(&mut self, spec: &NetworkSpec) -> Vec<PreparedLayer> {
+        let key = format!("{}::{}", spec.name, self.quick);
+        if !self.prepared.contains_key(&key) {
+            let shrunk = self.shrink(spec);
+            let layers = shrunk
+                .generate(&self.generator)
+                .expect("table-2 profiles are feasible");
+            let prepared = layers.iter().map(PreparedLayer::new).collect();
+            self.prepared.insert(key.clone(), prepared);
+        }
+        self.prepared[&key].clone()
+    }
+
+    /// Prepares one standalone layer workload.
+    pub fn prepare_layer(&self, workload: &LayerWorkload) -> PreparedLayer {
+        PreparedLayer::new(workload)
+    }
+
+    /// Runs (once) a network on a design and returns the cached report.
+    pub fn network_report(&mut self, spec: &NetworkSpec, design: Design) -> NetworkReport {
+        let key = (format!("{}::{}", spec.name, self.quick), design);
+        if let Some(r) = self.reports.get(&key) {
+            return r.clone();
+        }
+        let layers = self.prepared_network(spec);
+        let layers: Vec<PreparedLayer> = if design.uses_ft_workload() {
+            layers
+                .iter()
+                .map(|p| PreparedLayer::new(&p.workload.with_preprocessing()))
+                .collect()
+        } else {
+            layers
+        };
+        let report = run_design(design, &spec.name, &layers);
+        self.reports.insert(key, report.clone());
+        report
+    }
+}
+
+/// Runs a layer sequence on a design.
+pub fn run_design(design: Design, network: &str, layers: &[PreparedLayer]) -> NetworkReport {
+    match design {
+        Design::SparTen => SparTenSnn::default().run_network(network, layers),
+        Design::Gospa => GospaSnn::default().run_network(network, layers),
+        Design::Gamma => GammaSnn::default().run_network(network, layers),
+        Design::Loas => Loas::default().run_network(network, layers),
+        Design::LoasFt => Loas::new(
+            LoasConfig::builder().discard_low_activity_outputs(true).build(),
+        )
+        .run_network(network, layers),
+        Design::Ptb => Ptb::default().run_network(network, layers),
+        Design::Stellar => Stellar::default().run_network(network, layers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_workloads::networks;
+
+    #[test]
+    fn quick_context_shrinks_and_caches() {
+        let mut ctx = Context::quick();
+        let spec = networks::alexnet();
+        let first = ctx.prepared_network(&spec);
+        assert_eq!(first.len(), 7);
+        assert!(first.iter().all(|l| l.shape.m <= 16 && l.shape.n <= 32));
+        let again = ctx.prepared_network(&spec);
+        assert_eq!(first.len(), again.len());
+    }
+
+    #[test]
+    fn reports_cached_per_design() {
+        let mut ctx = Context::quick();
+        let spec = networks::alexnet();
+        let a = ctx.network_report(&spec, Design::Loas);
+        let b = ctx.network_report(&spec, Design::Loas);
+        assert_eq!(a.total_cycles(), b.total_cycles());
+    }
+
+    #[test]
+    fn design_names() {
+        assert_eq!(Design::SparTen.name(), "SparTen-SNN");
+        assert!(Design::LoasFt.uses_ft_workload());
+        assert!(!Design::Loas.uses_ft_workload());
+    }
+}

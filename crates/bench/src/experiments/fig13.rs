@@ -1,0 +1,72 @@
+//! Fig. 13 — off-chip (KB) and on-chip (MB) memory traffic across the three
+//! networks and five designs.
+
+use crate::context::{Context, Design};
+use crate::report::{ratio, Table};
+use loas_workloads::networks;
+
+/// Regenerates both Fig. 13 panels plus the Section VI-A traffic-ratio
+/// analysis table.
+pub fn run(ctx: &mut Context) -> Vec<Table> {
+    let specs = [networks::alexnet(), networks::vgg16(), networks::resnet19()];
+    let headers = vec!["network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN", "LoAS", "LoAS(FT)"];
+    let mut offchip = Table::new("Fig. 13 (top) — off-chip traffic (KB)", headers.clone());
+    let mut onchip = Table::new("Fig. 13 (bottom) — on-chip SRAM traffic (MB)", headers);
+    let mut ratios = Table::new(
+        "Section VI-A — traffic relative to LoAS (SRAM x, DRAM x)",
+        vec!["network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN"],
+    );
+    for spec in &specs {
+        let loas = ctx.network_report(spec, Design::Loas).total_stats();
+        let mut off_cells = Vec::new();
+        let mut on_cells = Vec::new();
+        let mut ratio_cells = Vec::new();
+        for design in Design::SPMSPM_SET {
+            let stats = ctx.network_report(spec, design).total_stats();
+            off_cells.push(format!("{:.0}", stats.dram.total_kb()));
+            on_cells.push(format!("{:.2}", stats.sram.total_mb()));
+            if !matches!(design, Design::Loas | Design::LoasFt) {
+                ratio_cells.push(format!(
+                    "{} / {}",
+                    ratio(stats.sram.total() as f64 / loas.sram.total().max(1) as f64),
+                    ratio(stats.dram.total() as f64 / loas.dram.total().max(1) as f64),
+                ));
+            }
+        }
+        offchip.push_row(spec.name.clone(), off_cells);
+        onchip.push_row(spec.name.clone(), on_cells);
+        ratios.push_row(spec.name.clone(), ratio_cells);
+    }
+    ratios.push_note("paper (SRAM/DRAM vs LoAS): SparTen 3.93/3.70, 3.57/2.22, 4.07/2.24; GoSPA 2.87/4.49, 2.19/2.78, 2.98/3.03; Gamma mean SRAM 13.4x, DRAM 2.16/1.76/1.91");
+    vec![offchip, onchip, ratios]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loas_has_least_traffic_of_all_designs() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.is_consistent());
+        }
+        // Every baseline-vs-LoAS ratio in the third table must be >= 1 for
+        // SRAM (the first number of each cell).
+        for (_, cells) in &tables[2].rows {
+            for cell in cells {
+                let sram: f64 = cell
+                    .split('/')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap();
+                assert!(sram >= 1.0, "baseline SRAM below LoAS: {cell}");
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 16 — (a) TPPE area/power scaling with timesteps; (b) silent-neuron
+//! ratio vs timesteps for VGG16 (origin and fine-tuned).
+
+use crate::context::Context;
+use crate::report::{pct, ratio, Table};
+use loas_core::AreaPowerModel;
+use loas_workloads::networks::profiles;
+use loas_workloads::TemporalScalingModel;
+
+/// Regenerates both Fig. 16 panels.
+pub fn run(_ctx: &mut Context) -> Vec<Table> {
+    let model = AreaPowerModel::loas_default();
+    let mut a = Table::new(
+        "Fig. 16(a) — TPPE scaling with timesteps",
+        vec!["T", "area mm2", "t-dep area share", "power mW", "t-dep power share", "area vs T=4", "power vs T=4"],
+    );
+    for t in [4usize, 8, 16] {
+        a.push_row(
+            format!("T={t}"),
+            vec![
+                format!("{:.4}", model.tppe_area_mm2(t)),
+                pct(model.tppe_area_t_share(t) * 100.0),
+                format!("{:.3}", model.tppe_power_mw(t)),
+                pct(model.tppe_power_t_share(t) * 100.0),
+                ratio(model.tppe_area_mm2(t) / model.tppe_area_mm2(4)),
+                ratio(model.tppe_power_mw(t) / model.tppe_power_mw(4)),
+            ],
+        );
+    }
+    a.push_note("paper shares: area 12.5/22.2/36.3 %, power 8.4/15.5/26.8 %; growth T=16 vs T=4: 1.37x area, 1.25x power");
+
+    let temporal = TemporalScalingModel::fit(
+        &profiles::vgg16(),
+        4,
+        TemporalScalingModel::DEFAULT_ALPHA,
+    )
+    .expect("VGG16 profile fits the temporal mixture");
+    let mut b = Table::new(
+        "Fig. 16(b) — VGG16 silent-neuron ratio vs T (normalized to T=4)",
+        vec!["T", "origin", "origin (norm)", "FT", "FT (norm)"],
+    );
+    let s4 = temporal.silent_at(4);
+    let ft4 = temporal.silent_ft_at(4);
+    for t in [4usize, 8, 16] {
+        b.push_row(
+            format!("T={t}"),
+            vec![
+                pct(temporal.silent_at(t) * 100.0),
+                ratio(temporal.silent_at(t) / s4),
+                pct(temporal.silent_ft_at(t) * 100.0),
+                ratio(temporal.silent_ft_at(t) / ft4),
+            ],
+        );
+    }
+    b.push_note("paper: with preprocessing, T=8 keeps a silent ratio similar to T=4; beyond T=8 silence erodes");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_matches_paper_points() {
+        let tables = run(&mut Context::quick());
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert!(t.is_consistent());
+        }
+        let text = tables[0].to_string();
+        assert!(text.contains("22.2%"), "T=8 area share: {text}");
+        assert!(
+            text.contains("36.3%") || text.contains("36.4%"),
+            "T=16 area share (paper prints 36.3%): {text}"
+        );
+    }
+
+    #[test]
+    fn ft_keeps_silence_at_t8() {
+        let tables = run(&mut Context::quick());
+        // FT normalized value at T=8 (row 1, col 3) stays above 0.9.
+        let ft8: f64 = tables[1].rows[1].1[3]
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(ft8 > 0.9, "FT at T=8 near T=4 ratio: {ft8}");
+    }
+}

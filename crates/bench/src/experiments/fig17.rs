@@ -1,0 +1,160 @@
+//! Fig. 17 — scalability of LoAS across weight sparsity, timesteps, and
+//! layer size.
+
+use crate::context::{Context, Design};
+use crate::report::{num, ratio, Table};
+use loas_core::{Accelerator, Loas, LoasConfig, PreparedLayer};
+use loas_workloads::networks::{self, profiles};
+use loas_workloads::{LayerShape, SparsityProfile, TemporalScalingModel};
+
+fn scaled_profile(base: &SparsityProfile, weight_pct: f64) -> SparsityProfile {
+    SparsityProfile::from_percentages(
+        base.spike_origin * 100.0,
+        base.silent * 100.0,
+        base.silent_ft * 100.0,
+        weight_pct,
+    )
+    .expect("sweep values are valid percentages")
+}
+
+/// Regenerates the three Fig. 17 sweeps.
+pub fn run(ctx: &mut Context) -> Vec<Table> {
+    // ---- Panel 1: B sparsity {98.2 (High), 68.4 (Medium), 25 (Low)} on the
+    // VGG16 selected layer (V-L8 shape at network scale is representative
+    // and keeps the sweep tractable).
+    let mut sparsity_panel = Table::new(
+        "Fig. 17 (left) — LoAS vs weight sparsity of B (VGG16, normalized perf)",
+        vec!["B sparsity", "cycles", "performance"],
+    );
+    let base_shape = if ctx.is_quick() {
+        LayerShape::new(4, 16, 32, 512)
+    } else {
+        LayerShape::new(4, 16, 512, 2304) // V-L8
+    };
+    let mut high_cycles = 0.0;
+    for (label, weight_pct) in [("High 98.2%", 98.2), ("Medium 68.4%", 68.4), ("Low 25.0%", 25.0)] {
+        let profile = scaled_profile(&profiles::vgg16(), weight_pct);
+        let workload = ctx
+            .generator()
+            .generate(&format!("fig17-b-{weight_pct}"), base_shape, &profile)
+            .expect("sweep profiles feasible");
+        let report = Loas::default().run_layer(&PreparedLayer::new(&workload));
+        let cycles = report.stats.cycles.get() as f64;
+        if high_cycles == 0.0 {
+            high_cycles = cycles;
+        }
+        sparsity_panel.push_row(
+            label,
+            vec![format!("{cycles:.0}"), num(high_cycles / cycles)],
+        );
+    }
+    sparsity_panel
+        .push_note("paper: scaling B sparsity from 98.2% to 25% cuts performance by ~88%");
+
+    // ---- Panel 2: timesteps 4 -> 8 on the VGG16 network.
+    let mut t_panel = Table::new(
+        "Fig. 17 (middle) — LoAS vs timesteps (VGG16)",
+        vec!["T", "cycles", "performance vs T=4"],
+    );
+    let t4 = ctx
+        .network_report(&networks::vgg16(), Design::Loas)
+        .total_cycles()
+        .get() as f64;
+    t_panel.push_row("T=4", vec![format!("{t4:.0}"), ratio(1.0)]);
+    let temporal = TemporalScalingModel::fit(
+        &profiles::vgg16(),
+        4,
+        TemporalScalingModel::DEFAULT_ALPHA,
+    )
+    .expect("VGG16 fits the temporal mixture");
+    let profile8 = temporal.profile_at(8).expect("T=8 profile feasible");
+    let mut spec8 = networks::vgg16();
+    for layer in &mut spec8.layers {
+        layer.shape.t = 8;
+        layer.profile = profile8;
+        layer.name = format!("{}-T8", layer.name);
+    }
+    if ctx.is_quick() {
+        for layer in &mut spec8.layers {
+            layer.shape.m = layer.shape.m.clamp(1, 16);
+            layer.shape.n = layer.shape.n.min(32);
+            layer.shape.k = layer.shape.k.min(512);
+        }
+    }
+    let layers8 = spec8
+        .generate(ctx.generator())
+        .expect("T=8 generation succeeds");
+    let prepared8: Vec<PreparedLayer> = layers8.iter().map(PreparedLayer::new).collect();
+    let mut loas8 = Loas::new(LoasConfig::builder().timesteps(8).build());
+    let t8 = loas8
+        .run_network("VGG16-T8", &prepared8)
+        .total_cycles()
+        .get() as f64;
+    t_panel.push_row("T=8", vec![format!("{t8:.0}"), ratio(t4 / t8)]);
+    t_panel.push_note("paper: doubling timesteps loses only ~14% performance (FTP scales)");
+
+    // ---- Panel 3: layer size — V-L8 vs the SpikeTransformer HFF layer.
+    let mut size_panel = Table::new(
+        "Fig. 17 (right) — LoAS vs layer size",
+        vec!["layer", "dense ops", "cycles", "cycles per M dense-ops"],
+    );
+    let selected = networks::selected_layers();
+    let picks: Vec<&loas_workloads::networks::LayerSpec> = if ctx.is_quick() {
+        vec![&selected[1]]
+    } else {
+        vec![&selected[1], &selected[3]] // V-L8 and T-HFF
+    };
+    for spec in picks {
+        let workload = spec
+            .generate(ctx.generator())
+            .expect("selected layers feasible");
+        let report = Loas::default().run_layer(&PreparedLayer::new(&workload));
+        let ops = spec.shape.dense_ops() as f64;
+        let cycles = report.stats.cycles.get() as f64;
+        size_panel.push_row(
+            spec.name.clone(),
+            vec![
+                format!("{:.1}M", ops / 1e6),
+                format!("{cycles:.0}"),
+                num(cycles / (ops / 1e6)),
+            ],
+        );
+    }
+    size_panel.push_note("paper: LoAS scales well even on the much larger transformer layer");
+    vec![sparsity_panel, t_panel, size_panel]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_weights_cost_performance() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.is_consistent());
+        }
+        // Performance column monotonically decreases down the sparsity
+        // sweep.
+        let perf: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|(_, c)| c[1].parse().unwrap())
+            .collect();
+        assert!(perf[0] >= perf[1] && perf[1] >= perf[2], "{perf:?}");
+    }
+
+    #[test]
+    fn doubling_t_costs_less_than_halving() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        let ratio_cell = &tables[1].rows[1].1[1];
+        let perf: f64 = ratio_cell.trim_end_matches('x').parse().unwrap();
+        assert!(
+            perf > 0.55,
+            "T=8 keeps well over half the T=4 performance: {perf}"
+        );
+    }
+}

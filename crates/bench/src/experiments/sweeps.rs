@@ -1,0 +1,173 @@
+//! Architectural scaling sweeps beyond the paper's figures: TPPE count,
+//! off-chip bandwidth, and timestep count. These probe the design points the
+//! paper's discussion section gestures at (scaling LoAS up, and how far the
+//! FTP advantage carries as `T` grows toward the silent-neuron erosion of
+//! Fig. 16(b)).
+
+use crate::context::Context;
+use crate::report::{num, ratio, Table};
+use loas_core::{Accelerator, Loas, LoasConfig, PreparedLayer};
+use loas_workloads::networks::{self, profiles};
+use loas_workloads::TemporalScalingModel;
+
+fn v_l8(ctx: &Context) -> PreparedLayer {
+    let mut spec = networks::selected_layers()[1].clone();
+    if ctx.is_quick() {
+        spec.shape.m = spec.shape.m.min(16);
+        spec.shape.n = spec.shape.n.min(32);
+        spec.shape.k = spec.shape.k.min(512);
+    }
+    let workload = spec.generate(ctx.generator()).expect("V-L8 feasible");
+    PreparedLayer::new(&workload)
+}
+
+/// Runs the three sweeps.
+pub fn run(ctx: &mut Context) -> Vec<Table> {
+    let layer = v_l8(ctx);
+
+    // ---- Sweep 1: TPPE count (spatial scaling). V-L8 has M = 16 rows, so
+    // scaling past the row count exposes the row-tile mapping limit the
+    // paper notes for small-M layers.
+    let mut pes = Table::new(
+        "Sweep — TPPE count (V-L8)",
+        vec!["TPPEs", "cycles", "speedup vs 16", "note"],
+    );
+    let base_cycles = Loas::default().run_layer(&layer).stats.cycles.get() as f64;
+    for tppes in [4usize, 8, 16, 32] {
+        let report = Loas::new(LoasConfig::builder().tppes(tppes).build()).run_layer(&layer);
+        let cycles = report.stats.cycles.get() as f64;
+        let note = if tppes > layer.shape.m {
+            "rows < TPPEs: extra PEs idle"
+        } else {
+            ""
+        };
+        pes.push_row(
+            format!("{tppes}"),
+            vec![
+                format!("{cycles:.0}"),
+                ratio(base_cycles / cycles),
+                note.to_owned(),
+            ],
+        );
+    }
+    pes.push_note("the row-per-TPPE mapping caps useful spatial scaling at M rows");
+
+    // ---- Sweep 2: off-chip bandwidth.
+    let mut bw = Table::new(
+        "Sweep — HBM bandwidth (V-L8)",
+        vec!["GB/s", "cycles", "stall cycles", "bound"],
+    );
+    for gbps in [16.0f64, 32.0, 64.0, 128.0, 256.0] {
+        let report = Loas::new(LoasConfig::builder().hbm_gbps(gbps).build()).run_layer(&layer);
+        let stalls = report.stats.stall_cycles.get();
+        bw.push_row(
+            format!("{gbps:.0}"),
+            vec![
+                format!("{}", report.stats.cycles.get()),
+                format!("{stalls}"),
+                if stalls > 0 { "memory" } else { "compute" }.to_owned(),
+            ],
+        );
+    }
+    bw.push_note("Table III's 128 GB/s keeps V-L8 compute-bound; the knee shows where FTP would starve");
+
+    // ---- Sweep 3: timesteps 2..16 with sparsity extrapolated by the
+    // temporal mixture (Fig. 16(b) model), reporting cycles per timestep —
+    // the FTP scaling story end to end.
+    let mut tsweep = Table::new(
+        "Sweep — timesteps (V-L8 profile extrapolated)",
+        vec!["T", "cycles", "cycles per timestep", "silent %"],
+    );
+    let temporal = TemporalScalingModel::fit(
+        &profiles::v_l8(),
+        4,
+        TemporalScalingModel::DEFAULT_ALPHA,
+    )
+    .expect("V-L8 fits the temporal mixture");
+    for t in [2usize, 4, 8, 16] {
+        let Ok(profile) = temporal.profile_at(t) else {
+            continue;
+        };
+        let mut shape = layer.shape;
+        shape.t = t;
+        let Ok(workload) = ctx
+            .generator()
+            .generate(&format!("tsweep-{t}"), shape, &profile)
+        else {
+            continue;
+        };
+        let report = Loas::new(LoasConfig::builder().timesteps(t).build())
+            .run_layer(&PreparedLayer::new(&workload));
+        let cycles = report.stats.cycles.get();
+        tsweep.push_row(
+            format!("T={t}"),
+            vec![
+                format!("{cycles}"),
+                num(cycles as f64 / t as f64),
+                num(temporal.silent_at(t) * 100.0),
+            ],
+        );
+    }
+    tsweep.push_note("FTP amortizes timesteps: cycles grow sublinearly in T until silence erodes (Fig. 16(b))");
+    vec![pes, bw, tsweep]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_render_consistently() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(t.is_consistent(), "{}", t.title);
+        }
+    }
+
+    #[test]
+    fn more_tppes_never_slow_the_layer() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        let cycles: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .map(|(_, c)| c[0].parse().unwrap())
+            .collect();
+        assert!(
+            cycles.windows(2).all(|w| w[1] <= w[0] * 1.001),
+            "cycles must be non-increasing in TPPEs: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn ftp_cycles_grow_sublinearly_in_t() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        let per_t: Vec<f64> = tables[2]
+            .rows
+            .iter()
+            .map(|(_, c)| c[1].parse().unwrap())
+            .collect();
+        assert!(per_t.len() >= 3);
+        // Cycles per timestep shrink as T grows (amortization).
+        assert!(
+            per_t.last().unwrap() < per_t.first().unwrap(),
+            "per-timestep cost must fall: {per_t:?}"
+        );
+    }
+
+    #[test]
+    fn low_bandwidth_becomes_memory_bound() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        let bounds: Vec<&str> = tables[1]
+            .rows
+            .iter()
+            .map(|(_, c)| c[2].as_str())
+            .collect();
+        // The highest bandwidth point must be compute-bound.
+        assert_eq!(*bounds.last().unwrap(), "compute");
+    }
+}

@@ -1,0 +1,39 @@
+//! Table I — qualitative comparison of LoAS with prior SNN accelerators.
+
+use crate::context::Context;
+use crate::report::Table;
+
+/// Regenerates the feature matrix (static by nature; included so `repro all`
+/// covers every table).
+pub fn run(_ctx: &mut Context) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I — comparison with prior SNN accelerators",
+        vec!["accelerator", "spike sparsity", "weight sparsity", "parallelism", "neuron"],
+    );
+    for (name, spike, weight, par, neuron) in [
+        ("SpinalFlow", "yes", "no", "S", "LIF"),
+        ("PTB", "yes", "no", "S + partial-T", "LIF"),
+        ("Stellar", "yes", "no", "S + fully-T", "FS"),
+        ("LoAS (ours)", "yes", "yes", "S + fully-T", "LIF"),
+    ] {
+        t.push_row(
+            name,
+            vec![spike.into(), weight.into(), par.into(), neuron.into()],
+        );
+    }
+    t.push_note("S = spatial (PE-level) parallelism, T = temporal parallelism");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_designs_listed() {
+        let t = &run(&mut Context::quick())[0];
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.is_consistent());
+        assert!(t.rows[3].0.contains("LoAS"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Table III — the LoAS system configuration.
+
+use crate::context::Context;
+use crate::report::Table;
+use loas_core::LoasConfig;
+
+/// Prints the configuration the simulator instantiates (and asserts it is
+/// the Table III design point).
+pub fn run(_ctx: &mut Context) -> Vec<Table> {
+    let c = LoasConfig::table3();
+    let mut t = Table::new(
+        "Table III — configuration of the LoAS system",
+        vec!["component", "configuration"],
+    );
+    t.push_row(
+        "TPPEs",
+        vec![format!("{} TPPEs, {}-bit weight", c.tppes, c.weight_bits)],
+    );
+    t.push_row(
+        "Inner-join unit",
+        vec![format!(
+            "{} units; fast prefix-sum 1 cycle, laggy {} adders / {} cycles over {}-bit masks",
+            c.tppes,
+            c.laggy_adders,
+            c.laggy_latency_cycles(),
+            c.bitmask_bits
+        )],
+    );
+    t.push_row(
+        "Global cache",
+        vec![format!(
+            "{} KB, {} banks, {}-way associative",
+            c.cache_bytes / 1024,
+            c.cache_banks,
+            c.cache_ways
+        )],
+    );
+    t.push_row(
+        "Crossbars",
+        vec![format!(
+            "{0}x{0} and {0}x{0}, swizzle-switch based",
+            c.tppes
+        )],
+    );
+    t.push_row(
+        "Main memory",
+        vec![format!(
+            "{} GB/s over {} 64-bit HBM channels",
+            c.hbm_gbps, c.hbm_channels
+        )],
+    );
+    t.push_row(
+        "FIFOs / buffers",
+        vec![format!(
+            "2 depth-{} FIFOs, 2 {}-bit bitmask buffers, {} B weight buffer",
+            c.fifo_depth, c.bitmask_bits, c.weight_buffer_bytes
+        )],
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_table3_values() {
+        let t = &run(&mut Context::quick())[0];
+        assert!(t.is_consistent());
+        let text = t.to_string();
+        assert!(text.contains("256 KB"));
+        assert!(text.contains("128 GB/s"));
+        assert!(text.contains("16 TPPEs"));
+    }
+}

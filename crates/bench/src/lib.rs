@@ -1,0 +1,22 @@
+//! # loas-bench — the experiment harness regenerating every table and
+//! figure of the paper's evaluation
+//!
+//! Each module under [`experiments`] regenerates one table or figure
+//! (workload generation, parameter sweep, baselines, and row formatting);
+//! [`experiments::reference`] keeps the paper's published values alongside
+//! for `paper vs measured` comparison. The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p loas-bench --bin repro -- all
+//! cargo run --release -p loas-bench --bin repro -- fig12 fig13
+//! cargo run --release -p loas-bench --bin repro -- --quick all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::{run_design, Context, Design};
+pub use report::Table;

@@ -1,0 +1,199 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt;
+
+/// One regenerated table or figure, as rows of formatted cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment title (e.g. `"Fig. 12 — speedup over SparTen-SNN"`).
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Rows: label + one cell per header after the first.
+    pub rows: Vec<(String, Vec<String>)>,
+    /// Free-form notes printed under the table (assumptions, paper refs).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Validates internal consistency (every row matches the header count).
+    pub fn is_consistent(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|(_, cells)| cells.len() + 1 == self.headers.len())
+    }
+
+    /// Renders the table as CSV (RFC-4180 quoting for cells containing
+    /// commas or quotes); notes become trailing `# ...` comment lines.
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            let mut line = vec![quote(label)];
+            line.extend(cells.iter().map(|c| quote(c)));
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("# ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A filesystem-safe slug of the title, for CSV file names.
+    pub fn slug(&self) -> String {
+        let mut slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        while slug.contains("__") {
+            slug = slug.replace("__", "_");
+        }
+        slug.trim_matches('_').chars().take(60).collect()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        // Column widths.
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for (label, cells) in &self.rows {
+            widths[0] = widths[0].max(label.len());
+            for (i, c) in cells.iter().enumerate() {
+                if i + 1 < cols {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                }
+            }
+        }
+        let print_line = |f: &mut fmt::Formatter<'_>, cells: Vec<&str>| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", c, width = widths[0] + 2)?;
+                } else {
+                    write!(f, "{:>width$}", c, width = widths[i.min(cols - 1)] + 2)?;
+                }
+            }
+            writeln!(f)
+        };
+        print_line(f, self.headers.iter().map(String::as_str).collect())?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * cols))?;
+        for (label, cells) in &self.rows {
+            let mut line = vec![label.as_str()];
+            line.extend(cells.iter().map(String::as_str));
+            print_line(f, line)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as `3.42x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats a float with two decimals.
+pub fn num(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_cells() {
+        let mut t = Table::new("demo", vec!["workload", "speedup"]);
+        t.push_row("VGG16", vec![ratio(4.08)]);
+        t.push_note("normalized to SparTen-SNN");
+        let text = t.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("VGG16"));
+        assert!(text.contains("4.08x"));
+        assert!(text.contains("note:"));
+        assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn inconsistent_rows_detected() {
+        let mut t = Table::new("demo", vec!["a", "b", "c"]);
+        t.push_row("x", vec!["1".into()]);
+        assert!(!t.is_consistent());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(2.0), "2.00x");
+        assert_eq!(pct(61.74), "61.7%");
+        assert_eq!(num(1.234), "1.23");
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = Table::new("Fig. X — demo, with comma", vec!["a", "b"]);
+        t.push_row("row \"1\"", vec!["1,5".into()]);
+        t.push_note("a note");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"row \"\"1\"\"\",\"1,5\""));
+        assert!(csv.ends_with("# a note\n"));
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        let t = Table::new("Fig. 12 (top) — speedup, normalized", vec!["a"]);
+        let slug = t.slug();
+        assert!(slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        assert!(slug.starts_with("fig_12"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Width-aware accumulators: the pseudo-accumulator and per-timestep
+//! correction accumulators of a TPPE (Section IV-B/C).
+//!
+//! The synthesized design uses a 12-bit pseudo-accumulator and four 10-bit
+//! correction accumulators (Section V). The model tracks values at full
+//! precision and *counts* width overflows instead of wrapping, so functional
+//! verification stays exact while the width choice remains observable (an
+//! overflow count of zero on the evaluation workloads validates the paper's
+//! sizing).
+
+/// A signed accumulator with an optional bit-width annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accumulator {
+    value: i64,
+    bits: Option<u32>,
+    overflows: u64,
+}
+
+impl Accumulator {
+    /// A width-annotated accumulator (`bits` includes the sign bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits < 2`.
+    pub fn with_width(bits: u32) -> Self {
+        assert!(bits >= 2, "need at least a sign and a value bit");
+        Accumulator {
+            value: 0,
+            bits: Some(bits),
+            overflows: 0,
+        }
+    }
+
+    /// An unbounded accumulator (reference behaviour).
+    pub fn unbounded() -> Self {
+        Accumulator {
+            value: 0,
+            bits: None,
+            overflows: 0,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Number of updates that exceeded the annotated width.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Adds `delta`, counting a width overflow if the result no longer fits.
+    pub fn add(&mut self, delta: i64) {
+        self.value += delta;
+        if let Some(bits) = self.bits {
+            let limit = 1i64 << (bits - 1);
+            if self.value >= limit || self.value < -limit {
+                self.overflows += 1;
+            }
+        }
+    }
+
+    /// Subtracts `delta` (correction path).
+    pub fn sub(&mut self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// Resets the value (between output neurons); overflow count persists.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// The accumulator bank of one TPPE: one pseudo-accumulator plus `T`
+/// correction accumulators (Fig. 7, Fig. 10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccumulatorBank {
+    pseudo: Accumulator,
+    corrections: Vec<Accumulator>,
+}
+
+impl AccumulatorBank {
+    /// The paper's widths: a 12-bit pseudo-accumulator and `timesteps`
+    /// 10-bit correction accumulators.
+    pub fn loas_default(timesteps: usize) -> Self {
+        AccumulatorBank {
+            pseudo: Accumulator::with_width(12),
+            corrections: vec![Accumulator::with_width(10); timesteps],
+        }
+    }
+
+    /// Number of timestep lanes.
+    pub fn timesteps(&self) -> usize {
+        self.corrections.len()
+    }
+
+    /// Optimistically accumulates a matched weight into the pseudo
+    /// accumulator (presuming the spike word is all ones).
+    pub fn accumulate(&mut self, weight: i64) {
+        self.pseudo.add(weight);
+    }
+
+    /// Applies a correction: subtracts `weight` for every timestep where the
+    /// actual spike word is 0 (`missing_timesteps`).
+    pub fn correct(&mut self, weight: i64, missing_timesteps: impl IntoIterator<Item = usize>) {
+        for t in missing_timesteps {
+            self.corrections[t].add(weight);
+        }
+    }
+
+    /// Final per-timestep sums: the pseudo result duplicated to every lane
+    /// minus that lane's correction (Section IV-D).
+    pub fn finalize(&self) -> Vec<i64> {
+        self.corrections
+            .iter()
+            .map(|c| self.pseudo.value() - c.value())
+            .collect()
+    }
+
+    /// Total width overflows across all accumulators.
+    pub fn overflows(&self) -> u64 {
+        self.pseudo.overflows() + self.corrections.iter().map(Accumulator::overflows).sum::<u64>()
+    }
+
+    /// Resets all values for the next output neuron.
+    pub fn reset(&mut self) {
+        self.pseudo.reset();
+        for c in &mut self.corrections {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut acc = Accumulator::unbounded();
+        acc.add(100);
+        acc.sub(30);
+        assert_eq!(acc.value(), 70);
+        assert_eq!(acc.overflows(), 0);
+    }
+
+    #[test]
+    fn width_overflow_detected() {
+        let mut acc = Accumulator::with_width(4); // range [-8, 7]
+        acc.add(7);
+        assert_eq!(acc.overflows(), 0);
+        acc.add(1); // 8: overflow
+        assert_eq!(acc.overflows(), 1);
+        acc.sub(20); // -12: overflow again
+        assert_eq!(acc.overflows(), 2);
+    }
+
+    #[test]
+    fn bank_pseudo_plus_correction_semantics() {
+        // Matched weights 3 and 5; weight-3 neuron fires everywhere, the
+        // weight-5 neuron only at t0 and t2 (missing t1, t3).
+        let mut bank = AccumulatorBank::loas_default(4);
+        bank.accumulate(3);
+        bank.accumulate(5);
+        bank.correct(5, [1, 3]);
+        assert_eq!(bank.finalize(), vec![8, 3, 8, 3]);
+        assert_eq!(bank.overflows(), 0);
+    }
+
+    #[test]
+    fn bank_reset_clears_values() {
+        let mut bank = AccumulatorBank::loas_default(2);
+        bank.accumulate(9);
+        bank.correct(9, [0]);
+        bank.reset();
+        assert_eq!(bank.finalize(), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign")]
+    fn degenerate_width_rejected() {
+        Accumulator::with_width(1);
+    }
+}

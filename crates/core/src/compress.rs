@@ -1,0 +1,195 @@
+//! FTP-friendly spike compression (Section IV-A, Fig. 8).
+//!
+//! The two problems this format solves:
+//!
+//! 1. **Compression ratio of 1-bit spikes.** CSR-style coordinates spend
+//!    `ceil(log2(K))` bits per 1-bit spike, per timestep. Packing all `T`
+//!    spikes of a neuron into one word and marking non-silent neurons with a
+//!    1-bit bitmask makes the metadata cost 1 bit per neuron position plus
+//!    `T` bits per *non-silent* neuron.
+//! 2. **Contiguous access across timesteps.** The packed word keeps all of
+//!    a neuron's timesteps adjacent, so the spatially-unrolled `t` loop of
+//!    FTP reads one contiguous word instead of `T` strided rows.
+
+use loas_snn::SpikeTensor;
+use loas_sparse::{CsrMatrix, SpikeFiber, POINTER_BITS};
+
+/// Summary of compressing one spike tensor with the LoAS format, with the
+/// CSR cost for comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionReport {
+    /// Number of neuron positions (`M · K`).
+    pub positions: usize,
+    /// Non-silent neurons stored.
+    pub stored_neurons: usize,
+    /// Total spikes represented.
+    pub spikes: usize,
+    /// Packed payload bits (`T` per stored neuron).
+    pub payload_bits: u64,
+    /// Bitmask + pointer bits.
+    pub format_bits: u64,
+    /// Total bits of the same tensor in per-timestep CSR (coordinates only).
+    pub csr_bits: u64,
+    /// Raw dense bits (`M · K · T`).
+    pub dense_bits: u64,
+}
+
+impl CompressionReport {
+    /// Total compressed size in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.payload_bits + self.format_bits
+    }
+
+    /// The paper's compression-efficiency notion: raw spike bits captured
+    /// per payload bit spent (>1 when neurons fire more than once on
+    /// average; the Fig. 8 example reports 125%).
+    pub fn efficiency(&self) -> f64 {
+        if self.payload_bits == 0 {
+            0.0
+        } else {
+            self.spikes as f64 / self.payload_bits as f64
+        }
+    }
+
+    /// Size advantage over per-timestep CSR (`csr_bits / total_bits`).
+    pub fn gain_over_csr(&self) -> f64 {
+        self.csr_bits as f64 / self.total_bits().max(1) as f64
+    }
+
+    /// Size advantage over dense spike trains (`dense / total`).
+    pub fn gain_over_dense(&self) -> f64 {
+        self.dense_bits as f64 / self.total_bits().max(1) as f64
+    }
+}
+
+/// Compresses a spike tensor into row fibers and reports the cost.
+///
+/// # Examples
+///
+/// ```
+/// use loas_core::compress;
+/// use loas_snn::SpikeTensor;
+///
+/// let mut a = SpikeTensor::zeros(1, 4, 4);
+/// a.set(0, 0, 0, true);
+/// a.set(0, 0, 2, true); // a_{0,0} = 1010 (paper example)
+/// a.set(0, 3, 1, true);
+/// a.set(0, 3, 2, true);
+/// a.set(0, 3, 3, true); // a_{0,3} = 0111
+/// let (fibers, report) = compress::compress_tensor(&a);
+/// assert_eq!(fibers[0].nnz(), 2);
+/// assert_eq!(report.spikes, 5);
+/// assert_eq!(report.payload_bits, 8); // two 4-bit words
+/// ```
+pub fn compress_tensor(tensor: &SpikeTensor) -> (Vec<SpikeFiber>, CompressionReport) {
+    let fibers = tensor.to_row_fibers();
+    let stored_neurons: usize = fibers.iter().map(SpikeFiber::nnz).sum();
+    let payload_bits = (stored_neurons * tensor.timesteps()) as u64;
+    let format_bits: u64 = fibers
+        .iter()
+        .map(|f| (f.bitmask().storage_bits() + POINTER_BITS) as u64)
+        .sum();
+    let csr_bits: u64 = tensor
+        .planes()
+        .iter()
+        .map(|plane| CsrMatrix::from_bit_matrix(plane).storage_bits(0) as u64)
+        .sum();
+    let report = CompressionReport {
+        positions: tensor.m() * tensor.k(),
+        stored_neurons,
+        spikes: tensor.spike_count(),
+        payload_bits,
+        format_bits,
+        csr_bits,
+        dense_bits: (tensor.m() * tensor.k() * tensor.timesteps()) as u64,
+    };
+    (fibers, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig8_row() -> SpikeTensor {
+        let mut a = SpikeTensor::zeros(1, 4, 4);
+        a.set(0, 0, 0, true);
+        a.set(0, 0, 2, true);
+        a.set(0, 3, 1, true);
+        a.set(0, 3, 2, true);
+        a.set(0, 3, 3, true);
+        a
+    }
+
+    #[test]
+    fn fig8_example_counts() {
+        let (fibers, report) = compress_tensor(&fig8_row());
+        assert_eq!(fibers.len(), 1);
+        assert_eq!(report.stored_neurons, 2);
+        assert_eq!(report.spikes, 5);
+        // Paper: "we end up using 4 bits to compress 5 bits" per stored word
+        // on average -> efficiency 5/8 per-tensor here (two words).
+        assert!(report.efficiency() > 0.6);
+    }
+
+    #[test]
+    fn packed_beats_csr_at_realistic_width() {
+        // On a K=128 row (footnote 5's example width: 7-bit coordinates),
+        // the packed format wins decisively over per-timestep CSR.
+        let mut a = SpikeTensor::zeros(4, 128, 4);
+        for m in 0..4 {
+            for k in (0..128).step_by(3) {
+                a.set(m, k, (k + m) % 4, true);
+                a.set(m, k, (k + m + 1) % 4, true);
+            }
+        }
+        let (_, report) = compress_tensor(&a);
+        assert!(
+            report.gain_over_csr() > 1.5,
+            "packed should beat CSR: gain {}",
+            report.gain_over_csr()
+        );
+    }
+
+    #[test]
+    fn silent_tensor_compresses_to_format_only() {
+        let a = SpikeTensor::zeros(2, 8, 4);
+        let (_, report) = compress_tensor(&a);
+        assert_eq!(report.payload_bits, 0);
+        assert_eq!(report.efficiency(), 0.0);
+        assert_eq!(report.total_bits(), report.format_bits);
+    }
+
+    #[test]
+    fn dense_tensor_payload_dominates() {
+        let mut a = SpikeTensor::zeros(2, 8, 4);
+        for m in 0..2 {
+            for k in 0..8 {
+                for t in 0..4 {
+                    a.set(m, k, t, true);
+                }
+            }
+        }
+        let (_, report) = compress_tensor(&a);
+        assert_eq!(report.stored_neurons, 16);
+        assert_eq!(report.payload_bits, 64);
+        assert!((report.efficiency() - 1.0).abs() < 1e-12, "all-ones words");
+        // Dense spike trains would be the same payload without masks; the
+        // format adds the bitmask overhead.
+        assert!(report.gain_over_dense() < 2.0);
+    }
+
+    #[test]
+    fn sparser_tensors_gain_more_over_dense() {
+        let mut sparse = SpikeTensor::zeros(4, 64, 4);
+        sparse.set(0, 0, 0, true);
+        sparse.set(0, 0, 1, true);
+        let (_, sparse_report) = compress_tensor(&sparse);
+        let mut denser = SpikeTensor::zeros(4, 64, 4);
+        for k in 0..32 {
+            denser.set(0, k, 0, true);
+            denser.set(0, k, 1, true);
+        }
+        let (_, denser_report) = compress_tensor(&denser);
+        assert!(sparse_report.gain_over_dense() > denser_report.gain_over_dense());
+    }
+}

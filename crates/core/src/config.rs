@@ -1,0 +1,218 @@
+//! LoAS configuration (Table III).
+
+/// Configuration of a LoAS instance. Defaults reproduce Table III:
+/// 16 TPPEs, 8-bit weights, 256 KB 16-bank 16-way global cache, 16×16
+/// swizzle-switch crossbars, 128 GB/s HBM, fast prefix-sum in 1 cycle,
+/// laggy prefix-sum with 16 adders over 128-bit buffers (8 cycles), depth-8
+/// FIFOs, 128-byte TPPE weight buffer, and T = 4 timesteps.
+///
+/// # Examples
+///
+/// ```
+/// use loas_core::LoasConfig;
+///
+/// let config = LoasConfig::builder().tppes(32).timesteps(8).build();
+/// assert_eq!(config.tppes, 32);
+/// assert_eq!(config.timesteps, 8);
+/// assert_eq!(config.laggy_latency_cycles(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoasConfig {
+    /// Number of temporal-parallel processing elements.
+    pub tppes: usize,
+    /// Timesteps supported in parallel (accumulator lanes per TPPE).
+    pub timesteps: usize,
+    /// Weight precision in bits.
+    pub weight_bits: usize,
+    /// Bitmask buffer width in bits (chunk size streamed through the
+    /// inner-join).
+    pub bitmask_bits: usize,
+    /// Adders in the laggy prefix-sum circuit.
+    pub laggy_adders: usize,
+    /// Depth of FIFO-mp / FIFO-B.
+    pub fifo_depth: usize,
+    /// TPPE weight buffer capacity in bytes.
+    pub weight_buffer_bytes: usize,
+    /// Global cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Global cache banks.
+    pub cache_banks: usize,
+    /// Global cache associativity.
+    pub cache_ways: usize,
+    /// Global cache line size in bytes.
+    pub cache_line_bytes: usize,
+    /// Off-chip bandwidth in GB/s.
+    pub hbm_gbps: f64,
+    /// Off-chip channels.
+    pub hbm_channels: usize,
+    /// Crossbar per-beat bus width in bytes.
+    pub crossbar_bus_bytes: usize,
+    /// Whether the runtime compressor discards output neurons with 0 or 1
+    /// spikes (the fine-tuned-preprocessing execution mode, Section V).
+    pub discard_low_activity_outputs: bool,
+    /// Whether timesteps are processed in parallel (FTP, the paper's
+    /// contribution) or sequentially on the same hardware — the dataflow
+    /// ablation of DESIGN.md. Default: true.
+    pub temporal_parallel: bool,
+    /// Whether the inner-join uses two fast prefix-sum circuits
+    /// (SparTen-style) instead of the FTP-friendly fast + laggy pair — the
+    /// inner-join ablation. Two fast circuits remove the correction tail
+    /// and FIFO backpressure but roughly double the prefix-sum area/power
+    /// (Section IV-C). Default: false (fast + laggy).
+    pub two_fast_prefix: bool,
+}
+
+impl LoasConfig {
+    /// The Table III configuration.
+    pub fn table3() -> Self {
+        LoasConfig {
+            tppes: 16,
+            timesteps: 4,
+            weight_bits: 8,
+            bitmask_bits: 128,
+            laggy_adders: 16,
+            fifo_depth: 8,
+            weight_buffer_bytes: 128,
+            cache_bytes: 256 * 1024,
+            cache_banks: 16,
+            cache_ways: 16,
+            cache_line_bytes: 64,
+            hbm_gbps: 128.0,
+            hbm_channels: 16,
+            crossbar_bus_bytes: 16,
+            discard_low_activity_outputs: false,
+            temporal_parallel: true,
+            two_fast_prefix: false,
+        }
+    }
+
+    /// A builder starting from the Table III defaults.
+    pub fn builder() -> LoasConfigBuilder {
+        LoasConfigBuilder {
+            config: Self::table3(),
+        }
+    }
+
+    /// Laggy prefix-sum latency over one bitmask chunk:
+    /// `bitmask_bits / laggy_adders` cycles (8 with Table III values).
+    pub fn laggy_latency_cycles(&self) -> u64 {
+        (self.bitmask_bits as u64).div_ceil(self.laggy_adders as u64)
+    }
+
+    /// Bytes of one packed spike payload word (`T` bits rounded up).
+    pub fn packed_word_bits(&self) -> usize {
+        self.timesteps
+    }
+}
+
+impl Default for LoasConfig {
+    fn default() -> Self {
+        Self::table3()
+    }
+}
+
+/// Builder for [`LoasConfig`] (non-consuming terminal, Table III defaults).
+#[derive(Debug, Clone)]
+pub struct LoasConfigBuilder {
+    config: LoasConfig,
+}
+
+impl LoasConfigBuilder {
+    /// Sets the TPPE count.
+    pub fn tppes(mut self, tppes: usize) -> Self {
+        self.config.tppes = tppes;
+        self
+    }
+
+    /// Sets the parallel timestep count.
+    pub fn timesteps(mut self, timesteps: usize) -> Self {
+        self.config.timesteps = timesteps;
+        self
+    }
+
+    /// Sets the global cache capacity in bytes.
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the off-chip bandwidth in GB/s.
+    pub fn hbm_gbps(mut self, gbps: f64) -> Self {
+        self.config.hbm_gbps = gbps;
+        self
+    }
+
+    /// Enables runtime discarding of 0/1-spike output neurons.
+    pub fn discard_low_activity_outputs(mut self, enable: bool) -> Self {
+        self.config.discard_low_activity_outputs = enable;
+        self
+    }
+
+    /// Selects parallel (FTP) or sequential timestep processing (ablation).
+    pub fn temporal_parallel(mut self, enable: bool) -> Self {
+        self.config.temporal_parallel = enable;
+        self
+    }
+
+    /// Selects the two-fast-prefix-sum inner-join variant (ablation).
+    pub fn two_fast_prefix(mut self, enable: bool) -> Self {
+        self.config.two_fast_prefix = enable;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values (zero TPPEs, zero timesteps, timesteps
+    /// beyond the packed-word limit).
+    pub fn build(self) -> LoasConfig {
+        let c = &self.config;
+        assert!(c.tppes > 0, "need at least one TPPE");
+        assert!(
+            c.timesteps > 0 && c.timesteps <= loas_sparse::MAX_TIMESTEPS,
+            "timesteps must be in 1..={}",
+            loas_sparse::MAX_TIMESTEPS
+        );
+        assert!(c.laggy_adders > 0, "laggy prefix-sum needs adders");
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = LoasConfig::table3();
+        assert_eq!(c.tppes, 16);
+        assert_eq!(c.timesteps, 4);
+        assert_eq!(c.cache_bytes, 256 * 1024);
+        assert_eq!(c.cache_banks, 16);
+        assert_eq!(c.cache_ways, 16);
+        assert!((c.hbm_gbps - 128.0).abs() < 1e-12);
+        assert_eq!(c.hbm_channels, 16);
+        assert_eq!(c.laggy_latency_cycles(), 8);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = LoasConfig::builder()
+            .tppes(8)
+            .timesteps(16)
+            .cache_bytes(1024)
+            .hbm_gbps(64.0)
+            .discard_low_activity_outputs(true)
+            .build();
+        assert_eq!(c.tppes, 8);
+        assert_eq!(c.timesteps, 16);
+        assert!(c.discard_low_activity_outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "timesteps")]
+    fn excessive_timesteps_rejected() {
+        LoasConfig::builder().timesteps(17).build();
+    }
+}

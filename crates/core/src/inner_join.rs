@@ -1,0 +1,305 @@
+//! The FTP-friendly inner-join unit (Section IV-C, Figs. 9-10).
+//!
+//! A conventional SparTen-style inner-join runs *two* fast (single-cycle,
+//! tree) prefix-sum circuits so both operands' offsets are ready together.
+//! The paper's observation: in an SNN the "activation" operand is a spike
+//! word — the weight is either accumulated or discarded — so the unit can be
+//! *imbalanced*. LoAS pairs one fast prefix-sum (for fiber-B offsets, so
+//! weight consumption stays at one match per cycle) with one cheap *laggy*
+//! prefix-sum (for fiber-A offsets, ready only after
+//! `bitmask_bits / adders` cycles):
+//!
+//! 1. AND the two bitmask chunks; the priority encoder emits matched
+//!    positions one per cycle.
+//! 2. For each match, the fast prefix-sum yields fiber-B's offset; the
+//!    weight is *optimistically* accumulated into the pseudo-accumulator
+//!    (presuming the spike word is all ones) and buffered in FIFO-B together
+//!    with the matched position in FIFO-mp.
+//! 3. When the laggy prefix-sum is ready, each buffered match checks the
+//!    actual packed word of fiber-A: all-ones words are discarded; anything
+//!    else sends the weight to the correction accumulators of the timesteps
+//!    that did **not** fire.
+//! 4. Final per-timestep sums: pseudo − correction (Section IV-D).
+//!
+//! The model is functionally bit-exact (validated against dense dot
+//! products) and returns a cycle count from the documented pipeline model:
+//! chunk streaming overlaps match draining; the laggy latency is hidden
+//! except at the tail; FIFO overflow beyond `fifo_depth` buffered matches
+//! stalls the fast path.
+
+use crate::accumulator::AccumulatorBank;
+use crate::config::LoasConfig;
+use loas_sparse::{SpikeFiber, WeightFiber};
+
+/// The outcome of joining one spike fiber (row of `A`) with one weight fiber
+/// (column of `B`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Exact per-timestep accumulation `O[m, n, ·]`.
+    pub sums: Vec<i64>,
+    /// Pipeline cycles for this pair.
+    pub cycles: u64,
+    /// Matched positions (pseudo-accumulator operations).
+    pub matches: u64,
+    /// Correction-accumulator add operations (one per missing timestep of a
+    /// non-all-ones match).
+    pub corrections: u64,
+    /// Matches whose spike word was all ones (prediction correct, FIFO entry
+    /// discarded — the `cycle 4` case of Fig. 10).
+    pub predictions_correct: u64,
+    /// Active cycles charged to the fast prefix-sum circuit.
+    pub fast_prefix_cycles: u64,
+    /// Active cycles charged to the laggy prefix-sum circuit.
+    pub laggy_prefix_cycles: u64,
+    /// Cycles lost to FIFO backpressure.
+    pub stall_cycles: u64,
+    /// Accumulator width overflows (zero on correctly-sized workloads).
+    pub overflows: u64,
+}
+
+/// The FTP-friendly inner-join unit of one TPPE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerJoinUnit {
+    chunk_bits: usize,
+    laggy_latency: u64,
+    fifo_depth: usize,
+    timesteps: usize,
+}
+
+impl InnerJoinUnit {
+    /// Builds the unit from a LoAS configuration.
+    pub fn new(config: &LoasConfig) -> Self {
+        InnerJoinUnit {
+            chunk_bits: config.bitmask_bits,
+            laggy_latency: config.laggy_latency_cycles(),
+            fifo_depth: config.fifo_depth,
+            timesteps: config.timesteps,
+        }
+    }
+
+    /// Chunk width in bits.
+    pub fn chunk_bits(&self) -> usize {
+        self.chunk_bits
+    }
+
+    /// Joins one row fiber of `A` with one column fiber of `B`, producing
+    /// the exact sums and the cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fibers' uncompressed lengths (the `K` dimension)
+    /// differ.
+    pub fn join(&self, fiber_a: &SpikeFiber, fiber_b: &WeightFiber) -> JoinOutcome {
+        assert_eq!(
+            fiber_a.len(),
+            fiber_b.len(),
+            "fiber K dimensions must match"
+        );
+        let mut bank = AccumulatorBank::loas_default(self.timesteps);
+        let mut matches = 0u64;
+        let mut corrections = 0u64;
+        let mut predictions_correct = 0u64;
+        let mut stall_cycles = 0u64;
+        let mut compute_cycles = 0u64;
+        let mut fast_prefix_cycles = 0u64;
+        let mut laggy_prefix_cycles = 0u64;
+        let k = fiber_a.len();
+        let chunks = k.div_ceil(self.chunk_bits).max(1);
+        let mut chunk_had_matches = false;
+        // Matched positions: merge-iterate both fibers once (O(nnzA + nnzB)),
+        // accumulating per-chunk match counts for the cycle model.
+        let mut per_chunk_matches = vec![0u64; chunks];
+        let mut b_entries = fiber_b.iter().peekable();
+        for (ka, word) in fiber_a.iter() {
+            while b_entries.next_if(|&(kb, _)| kb < ka).is_some() {}
+            let Some(&(kb, &weight)) = b_entries.peek() else {
+                break;
+            };
+            if kb != ka {
+                continue; // B is zero here: no AND match.
+            }
+            per_chunk_matches[ka / self.chunk_bits] += 1;
+            matches += 1;
+            // Optimistic pseudo accumulation (Fig. 10, cycles 1-2).
+            bank.accumulate(weight as i64);
+            // Laggy-ready correction check (Fig. 10, cycles 4-5).
+            if word.is_all_ones() {
+                predictions_correct += 1;
+            } else {
+                for t in 0..self.timesteps {
+                    if !word.fires_at(t) {
+                        bank.correct(weight as i64, [t]);
+                        corrections += 1;
+                    }
+                }
+            }
+        }
+        for &chunk_matches in &per_chunk_matches {
+            // Cycle model: the chunk needs 1 cycle of scan plus one cycle
+            // per emitted match; corrections drain concurrently, but only
+            // `fifo_depth` matches may be in flight before the laggy
+            // prefix-sum publishes offsets.
+            let drain = 1 + chunk_matches;
+            let backpressure = chunk_matches.saturating_sub(self.fifo_depth as u64);
+            stall_cycles += backpressure;
+            compute_cycles += drain + backpressure;
+            fast_prefix_cycles += drain;
+            if chunk_matches > 0 {
+                // The laggy circuit sweeps every chunk that produced work.
+                laggy_prefix_cycles += self.laggy_latency;
+                chunk_had_matches = true;
+            }
+        }
+        // Tail: the final chunk's corrections cannot be hidden behind a next
+        // chunk; expose one laggy latency (Fig. 10's "gated" tail).
+        if chunk_had_matches {
+            compute_cycles += self.laggy_latency;
+        }
+        JoinOutcome {
+            sums: bank.finalize(),
+            cycles: compute_cycles,
+            matches,
+            corrections,
+            predictions_correct,
+            fast_prefix_cycles,
+            laggy_prefix_cycles,
+            stall_cycles,
+            overflows: bank.overflows(),
+        }
+    }
+}
+
+/// Reference join: dense per-timestep dot product (what the sums must equal).
+pub fn reference_sums(fiber_a: &SpikeFiber, fiber_b: &WeightFiber, timesteps: usize) -> Vec<i64> {
+    let mut sums = vec![0i64; timesteps];
+    for (k, word) in fiber_a.iter() {
+        if let Some(&w) = fiber_b.value_at(k) {
+            for (t, sum) in sums.iter_mut().enumerate() {
+                if word.fires_at(t) {
+                    *sum += w as i64;
+                }
+            }
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_sparse::PackedSpikes;
+
+    fn unit() -> InnerJoinUnit {
+        InnerJoinUnit::new(&LoasConfig::table3())
+    }
+
+    fn spike_fiber(words: &[(usize, u16)], k: usize, t: usize) -> SpikeFiber {
+        let mut row = vec![PackedSpikes::silent(t).unwrap(); k];
+        for &(pos, bits) in words {
+            row[pos] = PackedSpikes::from_bits(bits, t).unwrap();
+        }
+        SpikeFiber::from_packed_row(&row)
+    }
+
+    fn weight_fiber(weights: &[(usize, i8)], k: usize) -> WeightFiber {
+        let mut dense = vec![0i8; k];
+        for &(pos, w) in weights {
+            dense[pos] = w;
+        }
+        WeightFiber::from_weights(&dense)
+    }
+
+    #[test]
+    fn figure10_walkthrough() {
+        // bm-A = 10101 (positions 0,2,4), bm-B = 00111 (positions 2,3,4)
+        // rescaled to our k=5 example: matches at 2 and 4.
+        // a2 = 1111 (all ones -> discard b2), a4 = 1010 -> correct t0, t2
+        // (bits where it does NOT fire).
+        let fa = spike_fiber(&[(0, 0b0110), (2, 0b1111), (4, 0b1010)], 5, 4);
+        let fb = weight_fiber(&[(2, 3), (3, 9), (4, 5)], 5);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.matches, 2);
+        assert_eq!(out.predictions_correct, 1);
+        // a4 misses t0 and t2 -> two corrections of weight 5.
+        assert_eq!(out.corrections, 2);
+        // sums: t0: 3, t1: 3+5, t2: 3, t3: 3+5
+        assert_eq!(out.sums, vec![3, 8, 3, 8]);
+        assert_eq!(out.sums, reference_sums(&fa, &fb, 4));
+        assert_eq!(out.overflows, 0);
+    }
+
+    #[test]
+    fn empty_intersection_costs_scan_only() {
+        let fa = spike_fiber(&[(0, 0b0001)], 8, 4);
+        let fb = weight_fiber(&[(5, 7)], 8);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.matches, 0);
+        assert_eq!(out.sums, vec![0, 0, 0, 0]);
+        // One chunk, no matches: 1 scan cycle, no laggy tail.
+        assert_eq!(out.cycles, 1);
+    }
+
+    #[test]
+    fn multi_chunk_masks() {
+        // K = 300 -> 3 chunks of 128.
+        let fa = spike_fiber(&[(0, 0b1111), (130, 0b0011), (299, 0b1000)], 300, 4);
+        let fb = weight_fiber(&[(0, 1), (130, 2), (299, 4)], 300);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.matches, 3);
+        assert_eq!(out.sums, reference_sums(&fa, &fb, 4));
+        // 3 chunk scans + 3 matches + laggy tail (8).
+        assert_eq!(out.cycles, 3 + 3 + 8);
+    }
+
+    #[test]
+    fn negative_weights_and_corrections() {
+        let fa = spike_fiber(&[(1, 0b0101), (2, 0b0010)], 4, 4);
+        let fb = weight_fiber(&[(1, -7), (2, 3), (3, 100)], 4);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.sums, reference_sums(&fa, &fb, 4));
+        // t0: -7, t1: 3, t2: -7, t3: 0
+        assert_eq!(out.sums, vec![-7, 3, -7, 0]);
+    }
+
+    #[test]
+    fn fifo_backpressure_counted() {
+        // 20 matches in one chunk exceed the depth-8 FIFO.
+        let positions: Vec<(usize, u16)> = (0..20).map(|i| (i, 0b0101u16)).collect();
+        let weights: Vec<(usize, i8)> = (0..20).map(|i| (i, 1i8)).collect();
+        let fa = spike_fiber(&positions, 64, 4);
+        let fb = weight_fiber(&weights, 64);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.matches, 20);
+        assert_eq!(out.stall_cycles, 12);
+        assert_eq!(out.sums, reference_sums(&fa, &fb, 4));
+    }
+
+    #[test]
+    fn all_ones_needs_no_corrections() {
+        let fa = spike_fiber(&[(0, 0b1111), (1, 0b1111)], 2, 4);
+        let fb = weight_fiber(&[(0, 10), (1, 20)], 2);
+        let out = unit().join(&fa, &fb);
+        assert_eq!(out.corrections, 0);
+        assert_eq!(out.predictions_correct, 2);
+        assert_eq!(out.sums, vec![30, 30, 30, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber K dimensions")]
+    fn mismatched_k_panics() {
+        let fa = spike_fiber(&[], 4, 4);
+        let fb = weight_fiber(&[], 5);
+        unit().join(&fa, &fb);
+    }
+
+    #[test]
+    fn fast_prefix_dominates_activity() {
+        let fa = spike_fiber(&[(0, 0b0101), (1, 0b1111)], 130, 4);
+        let fb = weight_fiber(&[(0, 1), (1, 2)], 130);
+        let out = unit().join(&fa, &fb);
+        // 2 chunks scanned (2 cycles) + 2 match cycles.
+        assert_eq!(out.fast_prefix_cycles, 2 + 2);
+        // Laggy active only on the chunk with matches.
+        assert_eq!(out.laggy_prefix_cycles, 8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reports produced by accelerator models and the common `Accelerator`
+//! interface.
+
+use crate::prepared::PreparedLayer;
+use loas_sim::{Cycle, EnergyBreakdown, SimStats};
+use loas_snn::SpikeTensor;
+
+/// The result of simulating one layer on one accelerator.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Workload name.
+    pub workload: String,
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Cycles, traffic, cache, and op counts.
+    pub stats: SimStats,
+    /// Energy rollup.
+    pub energy: EnergyBreakdown,
+    /// Functional output spikes (present when the model computes them, for
+    /// verification against the golden layer).
+    pub output: Option<SpikeTensor>,
+}
+
+impl LayerReport {
+    /// End-to-end latency.
+    pub fn cycles(&self) -> Cycle {
+        self.stats.cycles
+    }
+
+    /// Speedup of this report relative to a baseline report on the same
+    /// workload (`baseline_cycles / self_cycles`).
+    pub fn speedup_over(&self, baseline: &LayerReport) -> f64 {
+        let own = self.stats.cycles.get().max(1);
+        baseline.stats.cycles.get() as f64 / own as f64
+    }
+
+    /// Energy-efficiency gain relative to a baseline (`baseline_energy /
+    /// self_energy`).
+    pub fn energy_gain_over(&self, baseline: &LayerReport) -> f64 {
+        let own = self.energy.total_pj().max(1e-12);
+        baseline.energy.total_pj() / own
+    }
+}
+
+/// Aggregated results over a whole network (layers run back to back).
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl NetworkReport {
+    /// Builds a network report from layer reports.
+    pub fn new(network: &str, accelerator: &str, layers: Vec<LayerReport>) -> Self {
+        NetworkReport {
+            network: network.to_owned(),
+            accelerator: accelerator.to_owned(),
+            layers,
+        }
+    }
+
+    /// Summed statistics across layers (sequential execution).
+    pub fn total_stats(&self) -> SimStats {
+        let mut total = SimStats::new();
+        for l in &self.layers {
+            total.merge_sequential(&l.stats);
+        }
+        total
+    }
+
+    /// Summed energy across layers.
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        let mut total = EnergyBreakdown::default();
+        for l in &self.layers {
+            total.dram_pj += l.energy.dram_pj;
+            total.sram_pj += l.energy.sram_pj;
+            total.compute_pj += l.energy.compute_pj;
+            total.sparsity_pj += l.energy.sparsity_pj;
+            total.static_pj += l.energy.static_pj;
+        }
+        total
+    }
+
+    /// Total cycles across layers.
+    pub fn total_cycles(&self) -> Cycle {
+        self.total_stats().cycles
+    }
+
+    /// Network-level speedup over a baseline.
+    pub fn speedup_over(&self, baseline: &NetworkReport) -> f64 {
+        baseline.total_cycles().get() as f64 / self.total_cycles().get().max(1) as f64
+    }
+
+    /// Network-level energy-efficiency gain over a baseline.
+    pub fn energy_gain_over(&self, baseline: &NetworkReport) -> f64 {
+        baseline.total_energy().total_pj() / self.total_energy().total_pj().max(1e-12)
+    }
+}
+
+/// The interface every accelerator model implements. Models are stateful
+/// (they own cache state) but `run_layer` resets per-layer state, so calls
+/// are independent.
+pub trait Accelerator {
+    /// Human-readable accelerator name (e.g. `"SparTen-SNN"`).
+    fn name(&self) -> String;
+
+    /// Simulates one prepared layer end to end.
+    fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport;
+
+    /// Simulates a sequence of layers as one network.
+    fn run_network(&mut self, network: &str, layers: &[PreparedLayer]) -> NetworkReport {
+        let reports = layers.iter().map(|l| self.run_layer(l)).collect();
+        NetworkReport::new(network, &self.name(), reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, dram_pj: f64) -> LayerReport {
+        let mut stats = SimStats::new();
+        stats.cycles = Cycle(cycles);
+        LayerReport {
+            workload: "w".to_owned(),
+            accelerator: "a".to_owned(),
+            stats,
+            energy: EnergyBreakdown {
+                dram_pj,
+                ..Default::default()
+            },
+            output: None,
+        }
+    }
+
+    #[test]
+    fn speedup_and_energy_gain() {
+        let fast = report(100, 10.0);
+        let slow = report(400, 35.0);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((fast.energy_gain_over(&slow) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_totals() {
+        let net = NetworkReport::new("n", "a", vec![report(100, 1.0), report(50, 2.0)]);
+        assert_eq!(net.total_cycles(), Cycle(150));
+        assert!((net.total_energy().total_pj() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_speedup() {
+        let a = NetworkReport::new("n", "a", vec![report(100, 1.0)]);
+        let b = NetworkReport::new("n", "b", vec![report(300, 1.0)]);
+        assert!((a.speedup_over(&b) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pre-compressed layer workloads shared by all accelerator models.
+//!
+//! Building fibers and bitmasks is workload preparation, not accelerator
+//! work; every model (LoAS and baselines) consumes the same
+//! [`PreparedLayer`] so that cross-accelerator comparisons see identical
+//! inputs.
+
+use loas_snn::LifParams;
+use loas_sparse::{Bitmask, CsrMatrix, PackedSpikes, SpikeFiber, WeightFiber, POINTER_BITS};
+use loas_workloads::{LayerShape, LayerWorkload};
+
+/// A layer workload with every compressed view precomputed.
+#[derive(Debug, Clone)]
+pub struct PreparedLayer {
+    /// Workload name.
+    pub name: String,
+    /// The `(T, M, N, K)` shape.
+    pub shape: LayerShape,
+    /// The original workload (spike planes + dense weights + LIF).
+    pub workload: LayerWorkload,
+    /// Per-row compressed spike fibers (LoAS format: non-silent bitmask +
+    /// packed words).
+    pub a_fibers: Vec<SpikeFiber>,
+    /// Per-column compressed weight fibers.
+    pub b_fibers: Vec<WeightFiber>,
+    /// Per-timestep CSR views of the spike planes (GoSPA's format).
+    pub a_csr_per_t: Vec<CsrMatrix<()>>,
+    /// Per-row non-zero weight counts of `B` viewed row-wise (for OP/Gust
+    /// models: `B`'s row `k`).
+    pub b_row_nnz: Vec<usize>,
+}
+
+impl PreparedLayer {
+    /// Prepares all compressed views of a workload.
+    pub fn new(workload: &LayerWorkload) -> Self {
+        let shape = workload.shape;
+        let a_fibers = workload.spikes.to_row_fibers();
+        let b_fibers: Vec<WeightFiber> = (0..shape.n)
+            .map(|n| WeightFiber::from_weights(&workload.weights.column(n)))
+            .collect();
+        let a_csr_per_t = workload
+            .spikes
+            .planes()
+            .iter()
+            .map(CsrMatrix::from_bit_matrix)
+            .collect();
+        let mut b_row_nnz = vec![0usize; shape.k];
+        for (ki, nnz) in b_row_nnz.iter_mut().enumerate() {
+            *nnz = workload
+                .weights
+                .row(ki)
+                .iter()
+                .filter(|&&w| w != 0)
+                .count();
+        }
+        PreparedLayer {
+            name: workload.name.clone(),
+            shape,
+            workload: workload.clone(),
+            a_fibers,
+            b_fibers,
+            a_csr_per_t,
+            b_row_nnz,
+        }
+    }
+
+    /// LIF parameters of the output stage.
+    pub fn lif(&self) -> LifParams {
+        self.workload.lif
+    }
+
+    /// Non-silent bitmask of row `m` (the `bm-A` a TPPE holds).
+    pub fn a_mask(&self, m: usize) -> &Bitmask {
+        self.a_fibers[m].bitmask()
+    }
+
+    /// Total non-silent neurons across all rows.
+    pub fn a_nnz(&self) -> usize {
+        self.a_fibers.iter().map(SpikeFiber::nnz).sum()
+    }
+
+    /// Total non-zero weights.
+    pub fn b_nnz(&self) -> usize {
+        self.b_fibers.iter().map(WeightFiber::nnz).sum()
+    }
+
+    /// Total spikes across all timesteps.
+    pub fn spike_count(&self) -> usize {
+        self.workload.spikes.spike_count()
+    }
+
+    /// Compressed size of `A` in LoAS format, split as
+    /// `(payload_bits, format_bits)`: packed words vs bitmasks + pointers.
+    pub fn a_compressed_bits(&self) -> (u64, u64) {
+        let payload = (self.a_nnz() * self.shape.t) as u64;
+        let format = self
+            .a_fibers
+            .iter()
+            .map(|f| (f.bitmask().storage_bits() + POINTER_BITS) as u64)
+            .sum();
+        (payload, format)
+    }
+
+    /// Compressed size of `B` in fiber format, split as
+    /// `(payload_bits, format_bits)`.
+    pub fn b_compressed_bits(&self, weight_bits: usize) -> (u64, u64) {
+        let payload = (self.b_nnz() * weight_bits) as u64;
+        let format = self
+            .b_fibers
+            .iter()
+            .map(|f| (f.bitmask().storage_bits() + POINTER_BITS) as u64)
+            .sum();
+        (payload, format)
+    }
+
+    /// Size of `A` fetched densely as raw spike trains (SparTen-SNN: every
+    /// spike bit crosses the memory boundary, Section II-D).
+    pub fn a_dense_bits(&self) -> u64 {
+        (self.shape.m * self.shape.k * self.shape.t) as u64
+    }
+
+    /// Size of `A` in per-timestep CSR (GoSPA-SNN), split as
+    /// `(payload_bits, format_bits)`; spike CSR stores only coordinates, so
+    /// payload is zero and everything is format overhead.
+    pub fn a_csr_bits(&self) -> (u64, u64) {
+        let format = self
+            .a_csr_per_t
+            .iter()
+            .map(|csr| csr.storage_bits(0) as u64)
+            .sum();
+        (0, format)
+    }
+
+    /// Per-timestep spike row of `A` (`A[m, ·, t]` as a bitmask).
+    pub fn a_row_at(&self, m: usize, t: usize) -> &Bitmask {
+        self.workload.spikes.plane(t).row(m)
+    }
+
+    /// The packed word of neuron `(m, k)`.
+    pub fn a_word(&self, m: usize, k: usize) -> PackedSpikes {
+        self.workload.spikes.packed_word(m, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_workloads::{SparsityProfile, WorkloadGenerator};
+
+    fn prepared() -> PreparedLayer {
+        let generator = WorkloadGenerator::default();
+        let profile = SparsityProfile::from_percentages(75.0, 60.0, 70.0, 90.0).unwrap();
+        let w = generator
+            .generate("prep-test", LayerShape::new(4, 8, 6, 64), &profile)
+            .unwrap();
+        PreparedLayer::new(&w)
+    }
+
+    #[test]
+    fn fiber_counts_match_shape() {
+        let p = prepared();
+        assert_eq!(p.a_fibers.len(), 8);
+        assert_eq!(p.b_fibers.len(), 6);
+        assert_eq!(p.a_csr_per_t.len(), 4);
+        assert_eq!(p.b_row_nnz.len(), 64);
+    }
+
+    #[test]
+    fn nnz_consistency() {
+        let p = prepared();
+        let total_row_nnz: usize = p.b_row_nnz.iter().sum();
+        assert_eq!(total_row_nnz, p.b_nnz(), "row-wise and column-wise B nnz agree");
+        let csr_nnz: usize = p.a_csr_per_t.iter().map(|c| c.nnz()).sum();
+        assert_eq!(csr_nnz, p.spike_count());
+    }
+
+    #[test]
+    fn compressed_sizes_positive_and_ordered() {
+        let p = prepared();
+        let (a_payload, a_format) = p.a_compressed_bits();
+        assert_eq!(a_payload, (p.a_nnz() * 4) as u64);
+        assert!(a_format >= (p.shape.m * p.shape.k) as u64);
+        // LoAS packed A must be far smaller than dense A at this sparsity.
+        assert!(a_payload + a_format < p.a_dense_bits() + (p.shape.m as u64 * POINTER_BITS as u64) + p.a_dense_bits());
+        let (_, csr_format) = p.a_csr_bits();
+        assert!(csr_format > 0);
+    }
+
+    #[test]
+    fn a_word_matches_fiber_payload() {
+        let p = prepared();
+        for m in 0..p.shape.m {
+            for (k, word) in p.a_fibers[m].iter() {
+                assert_eq!(p.a_word(m, k), *word);
+                assert!(!word.is_silent());
+            }
+        }
+    }
+}

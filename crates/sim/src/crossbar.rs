@@ -1,0 +1,106 @@
+//! Swizzle-switch crossbar model (Section IV-D: "a simple
+//! swizzle-switch-based crossbar" distributes data from the scheduler to the
+//! TPPEs; Table III configures two 16x16 crossbars).
+
+use crate::clock::Cycle;
+
+/// A `ports x ports` swizzle-switch crossbar with a fixed per-port bus
+/// width.
+///
+/// # Examples
+///
+/// ```
+/// use loas_sim::{Crossbar, Cycle};
+///
+/// let xbar = Crossbar::new(16, 16);
+/// // Broadcasting 64 bytes over a 16-byte bus takes 4 beats.
+/// assert_eq!(xbar.broadcast_cycles(64), Cycle(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossbar {
+    ports: usize,
+    bus_bytes: usize,
+}
+
+impl Crossbar {
+    /// The LoAS configuration: 16x16 with a 16-byte (128-bit) bus, matching
+    /// the 128-bit bitmask buffers it feeds.
+    pub fn loas_default() -> Self {
+        Crossbar::new(16, 16)
+    }
+
+    /// Creates a crossbar with `ports` ports and `bus_bytes` per-beat width.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero ports or zero bus width.
+    pub fn new(ports: usize, bus_bytes: usize) -> Self {
+        assert!(ports > 0 && bus_bytes > 0, "degenerate crossbar");
+        Crossbar { ports, bus_bytes }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Per-beat bus width in bytes.
+    pub fn bus_bytes(&self) -> usize {
+        self.bus_bytes
+    }
+
+    /// Cycles to broadcast `bytes` to all ports (a single stream occupies
+    /// the broadcast bus for `ceil(bytes / bus)` beats).
+    pub fn broadcast_cycles(&self, bytes: u64) -> Cycle {
+        Cycle(bytes.div_ceil(self.bus_bytes as u64))
+    }
+
+    /// Cycles to deliver distinct streams to each port: ports transfer in
+    /// parallel, so the cost is the largest stream.
+    pub fn scatter_cycles(&self, per_port_bytes: &[u64]) -> Cycle {
+        assert!(
+            per_port_bytes.len() <= self.ports,
+            "more streams ({}) than ports ({})",
+            per_port_bytes.len(),
+            self.ports
+        );
+        per_port_bytes
+            .iter()
+            .map(|&b| self.broadcast_cycles(b))
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_rounds_up() {
+        let x = Crossbar::new(16, 16);
+        assert_eq!(x.broadcast_cycles(0), Cycle::ZERO);
+        assert_eq!(x.broadcast_cycles(1), Cycle(1));
+        assert_eq!(x.broadcast_cycles(17), Cycle(2));
+    }
+
+    #[test]
+    fn scatter_takes_max() {
+        let x = Crossbar::new(4, 8);
+        assert_eq!(x.scatter_cycles(&[8, 24, 16]), Cycle(3));
+        assert_eq!(x.scatter_cycles(&[]), Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "more streams")]
+    fn too_many_streams_panics() {
+        Crossbar::new(2, 8).scatter_cycles(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn default_is_16x16() {
+        let x = Crossbar::loas_default();
+        assert_eq!(x.ports(), 16);
+        assert_eq!(x.bus_bytes(), 16);
+    }
+}

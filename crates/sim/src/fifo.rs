@@ -1,0 +1,163 @@
+//! Depth-bounded FIFO queues with occupancy statistics.
+//!
+//! TPPEs contain two depth-8 FIFOs (Table III): `FIFO-mp` buffers matched
+//! positions and `FIFO-B` buffers matched non-zero weights while the laggy
+//! prefix-sum catches up (Fig. 10). Backpressure from a full FIFO is what
+//! ultimately bounds how far the fast prefix-sum may run ahead.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that records its high-water mark and the number of
+/// rejected pushes (backpressure events).
+///
+/// # Examples
+///
+/// ```
+/// use loas_sim::Fifo;
+///
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.push(3).is_err()); // full: backpressure
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.high_water(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fifo<T> {
+    depth: usize,
+    items: VecDeque<T>,
+    high_water: usize,
+    rejected: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with capacity `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Fifo {
+            depth,
+            items: VecDeque::with_capacity(depth),
+            high_water: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Capacity of the FIFO.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.depth
+    }
+
+    /// Pushes an item, returning it back on overflow (the caller must stall).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the FIFO is full; the rejection is counted.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pops the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Maximum occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of pushes rejected because the FIFO was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Empties the FIFO (statistics are preserved).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.front(), Some(&1));
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn overflow_counts_rejections() {
+        let mut f = Fifo::new(1);
+        f.push('a').unwrap();
+        assert_eq!(f.push('b'), Err('b'));
+        assert_eq!(f.push('c'), Err('c'));
+        assert_eq!(f.rejected(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_max() {
+        let mut f = Fifo::new(8);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_water(), 2);
+    }
+
+    #[test]
+    fn clear_preserves_stats() {
+        let mut f = Fifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let _ = f.push(3);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.rejected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        Fifo::<u8>::new(0);
+    }
+}

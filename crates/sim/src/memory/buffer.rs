@@ -1,0 +1,112 @@
+//! Scratchpad and double-buffer models.
+
+use crate::clock::Cycle;
+
+/// A simple capacity-checked scratchpad (e.g. GoSPA's on-chip psum buffer,
+/// or the 128-byte weight buffer inside a TPPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchBuffer {
+    capacity_bytes: usize,
+}
+
+impl ScratchBuffer {
+    /// Creates a scratchpad of `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ScratchBuffer { capacity_bytes }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Whether an object of `bytes` fits entirely on chip.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity_bytes as u64
+    }
+
+    /// How many bytes of an object of `bytes` spill off chip.
+    pub fn overflow_bytes(&self, bytes: u64) -> u64 {
+        bytes.saturating_sub(self.capacity_bytes as u64)
+    }
+}
+
+/// A double buffer: loads for tile `i+1` overlap the compute of tile `i`
+/// (the paper's global cache is "256 KB (double-buffered)").
+///
+/// # Examples
+///
+/// ```
+/// use loas_sim::{Cycle, DoubleBuffer};
+///
+/// let db = DoubleBuffer::new(128 * 1024);
+/// // Perfect overlap: the phase takes the max of load and compute.
+/// assert_eq!(db.phase_cycles(Cycle(10), Cycle(25)), Cycle(25));
+/// assert_eq!(db.phase_cycles(Cycle(40), Cycle(25)), Cycle(40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoubleBuffer {
+    half_capacity_bytes: usize,
+}
+
+impl DoubleBuffer {
+    /// Creates a double buffer where each half holds `half_capacity_bytes`.
+    pub fn new(half_capacity_bytes: usize) -> Self {
+        DoubleBuffer {
+            half_capacity_bytes,
+        }
+    }
+
+    /// Capacity of one half.
+    pub fn half_capacity_bytes(&self) -> usize {
+        self.half_capacity_bytes
+    }
+
+    /// Cycles for one pipelined phase: overlapped load and compute.
+    pub fn phase_cycles(&self, load: Cycle, compute: Cycle) -> Cycle {
+        load.max(compute)
+    }
+
+    /// Cycles for a sequence of phases with software pipelining: the first
+    /// load is exposed, after which each phase costs `max(load, compute)`.
+    pub fn pipeline_cycles(&self, phases: &[(Cycle, Cycle)]) -> Cycle {
+        let Some((first_load, _)) = phases.first() else {
+            return Cycle::ZERO;
+        };
+        let steady: Cycle = phases
+            .iter()
+            .map(|&(load, compute)| self.phase_cycles(load, compute))
+            .sum();
+        *first_load + steady
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_fits_and_overflow() {
+        let s = ScratchBuffer::new(100);
+        assert!(s.fits(100));
+        assert!(!s.fits(101));
+        assert_eq!(s.overflow_bytes(150), 50);
+        assert_eq!(s.overflow_bytes(10), 0);
+    }
+
+    #[test]
+    fn double_buffer_overlaps() {
+        let db = DoubleBuffer::new(1024);
+        assert_eq!(db.phase_cycles(Cycle(5), Cycle(9)), Cycle(9));
+        assert_eq!(db.phase_cycles(Cycle(9), Cycle(5)), Cycle(9));
+    }
+
+    #[test]
+    fn pipeline_exposes_first_load_only() {
+        let db = DoubleBuffer::new(1024);
+        let phases = [(Cycle(10), Cycle(20)), (Cycle(10), Cycle(20))];
+        // 10 (first load) + 20 + 20
+        assert_eq!(db.pipeline_cycles(&phases), Cycle(50));
+        assert_eq!(db.pipeline_cycles(&[]), Cycle::ZERO);
+    }
+}

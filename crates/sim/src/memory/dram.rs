@@ -1,0 +1,144 @@
+//! Off-chip HBM model.
+//!
+//! Table III: "128 GB/s over 16 64-bit HBM channels". The model is a
+//! bandwidth roofline plus a per-class traffic ledger: accelerator models
+//! record what crosses the chip boundary, and the execution-time model takes
+//! `max(compute, dram_cycles)` per phase.
+
+use crate::clock::{ClockDomain, Cycle};
+use crate::stats::{TrafficClass, TrafficLedger};
+
+/// An HBM-style off-chip memory: aggregate bandwidth + traffic ledger.
+///
+/// # Examples
+///
+/// ```
+/// use loas_sim::{HbmModel, TrafficClass};
+///
+/// let mut hbm = HbmModel::loas_default();
+/// hbm.read(TrafficClass::Weight, 1600);
+/// assert_eq!(hbm.ledger().total(), 1600);
+/// assert_eq!(hbm.transfer_cycles(1600).get(), 10); // 160 B/cycle
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbmModel {
+    bandwidth_gbps: f64,
+    channels: usize,
+    clock: ClockDomain,
+    ledger: TrafficLedger,
+}
+
+impl HbmModel {
+    /// The paper's configuration: 128 GB/s over 16 channels at the 800 MHz
+    /// accelerator clock.
+    pub fn loas_default() -> Self {
+        HbmModel::new(128.0, 16, ClockDomain::default())
+    }
+
+    /// Creates an HBM model with `bandwidth_gbps` aggregate bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bandwidth or channel count is zero.
+    pub fn new(bandwidth_gbps: f64, channels: usize, clock: ClockDomain) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(channels > 0, "need at least one channel");
+        HbmModel {
+            bandwidth_gbps,
+            channels,
+            clock,
+            ledger: TrafficLedger::new(),
+        }
+    }
+
+    /// Aggregate bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Sustained bytes per accelerator cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.clock.bytes_per_cycle(self.bandwidth_gbps)
+    }
+
+    /// Cycles to transfer `bytes` at the sustained bandwidth.
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
+        Cycle((bytes as f64 / self.bytes_per_cycle()).ceil() as u64)
+    }
+
+    /// Records a read of `bytes` of the given class.
+    pub fn read(&mut self, class: TrafficClass, bytes: u64) {
+        self.ledger.record(class, bytes);
+    }
+
+    /// Records a read measured in bits (rounded up to bytes).
+    pub fn read_bits(&mut self, class: TrafficClass, bits: u64) {
+        self.ledger.record_bits(class, bits);
+    }
+
+    /// Records a write of `bytes` of the given class.
+    pub fn write(&mut self, class: TrafficClass, bytes: u64) {
+        self.ledger.record(class, bytes);
+    }
+
+    /// Records a write measured in bits (rounded up to bytes).
+    pub fn write_bits(&mut self, class: TrafficClass, bits: u64) {
+        self.ledger.record_bits(class, bits);
+    }
+
+    /// The accumulated traffic ledger.
+    pub fn ledger(&self) -> &TrafficLedger {
+        &self.ledger
+    }
+
+    /// Extracts the ledger, resetting the model.
+    pub fn take_ledger(&mut self) -> TrafficLedger {
+        std::mem::take(&mut self.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let hbm = HbmModel::loas_default();
+        assert_eq!(hbm.channels(), 16);
+        assert!((hbm.bandwidth_gbps() - 128.0).abs() < 1e-12);
+        assert!((hbm.bytes_per_cycle() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let hbm = HbmModel::loas_default();
+        assert_eq!(hbm.transfer_cycles(0).get(), 0);
+        assert_eq!(hbm.transfer_cycles(1).get(), 1);
+        assert_eq!(hbm.transfer_cycles(161).get(), 2);
+    }
+
+    #[test]
+    fn ledger_tracks_reads_and_writes() {
+        let mut hbm = HbmModel::loas_default();
+        hbm.read(TrafficClass::Input, 100);
+        hbm.write(TrafficClass::Output, 50);
+        hbm.read_bits(TrafficClass::Format, 12);
+        assert_eq!(hbm.ledger().get(TrafficClass::Input), 100);
+        assert_eq!(hbm.ledger().get(TrafficClass::Output), 50);
+        assert_eq!(hbm.ledger().get(TrafficClass::Format), 2);
+        let taken = hbm.take_ledger();
+        assert_eq!(taken.total(), 152);
+        assert_eq!(hbm.ledger().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        HbmModel::new(0.0, 16, ClockDomain::default());
+    }
+}

@@ -1,0 +1,265 @@
+//! Banked, set-associative on-chip SRAM cache (FiberCache-style).
+//!
+//! LoAS uses a 256 KB, 16-bank, 16-way-associative unified global cache for
+//! compressed fibers (Table III), following Gamma's FiberCache. The model
+//! here simulates tag behaviour (LRU within each set) to produce the
+//! normalized miss-rate comparison of Fig. 14, and ledgers all read/write
+//! bytes for the on-chip traffic plots of Fig. 13.
+
+use crate::stats::{CacheStats, TrafficClass, TrafficLedger};
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched (and possibly evicted another line).
+    Miss,
+}
+
+/// A set-associative cache with per-set LRU replacement.
+///
+/// Addresses are abstract line identifiers: callers hash whatever object
+/// identity they track (fiber id, psum tile id, ...) into a `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use loas_sim::{Access, SramCache, TrafficClass};
+///
+/// let mut cache = SramCache::new(4 * 64, 64, 2, 1);
+/// assert_eq!(cache.access_line(0, TrafficClass::Weight), Access::Miss);
+/// assert_eq!(cache.access_line(0, TrafficClass::Weight), Access::Hit);
+/// assert!(cache.stats().miss_rate() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramCache {
+    line_bytes: usize,
+    ways: usize,
+    sets: usize,
+    banks: usize,
+    /// `sets x ways` tags; `None` = invalid. Tag includes the set bits
+    /// (full line id) for simplicity.
+    tags: Vec<Option<u64>>,
+    /// LRU counters parallel to `tags` (higher = more recently used).
+    lru: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+    traffic: TrafficLedger,
+}
+
+impl SramCache {
+    /// The paper's global cache: 256 KB, 16 banks, 16-way associative, with
+    /// 64-byte lines.
+    pub fn loas_default() -> Self {
+        SramCache::new(256 * 1024, 64, 16, 16)
+    }
+
+    /// Creates a cache of `capacity_bytes` with the given line size,
+    /// associativity, and bank count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry does not divide evenly or is degenerate.
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize, banks: usize) -> Self {
+        assert!(line_bytes > 0 && ways > 0 && banks > 0, "degenerate cache");
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines >= ways, "capacity below one set");
+        let sets = lines / ways;
+        SramCache {
+            line_bytes,
+            ways,
+            sets,
+            banks,
+            tags: vec![None; sets * ways],
+            lru: vec![0; sets * ways],
+            tick: 0,
+            stats: CacheStats::default(),
+            traffic: TrafficLedger::new(),
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Number of banks (for concurrent-access modeling).
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Looks up line `line_id`, inserting on miss (LRU eviction). Records
+    /// one line of SRAM read traffic of the given class.
+    pub fn access_line(&mut self, line_id: u64, class: TrafficClass) -> Access {
+        self.traffic.record(class, self.line_bytes as u64);
+        self.tick += 1;
+        let set = (line_id % self.sets as u64) as usize;
+        let base = set * self.ways;
+        // Hit?
+        for way in 0..self.ways {
+            if self.tags[base + way] == Some(line_id) {
+                self.lru[base + way] = self.tick;
+                self.stats.hits += 1;
+                return Access::Hit;
+            }
+        }
+        // Miss: evict LRU way.
+        self.stats.misses += 1;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                if self.tags[base + w].is_none() {
+                    0 // prefer invalid ways
+                } else {
+                    self.lru[base + w] + 1
+                }
+            })
+            .expect("ways > 0");
+        self.tags[base + victim] = Some(line_id);
+        self.lru[base + victim] = self.tick;
+        Access::Miss
+    }
+
+    /// Accesses an object spanning `bytes` starting at abstract address
+    /// `addr`: touches every covering line, returns the number of missed
+    /// lines.
+    pub fn access_range(&mut self, addr: u64, bytes: u64, class: TrafficClass) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = addr / self.line_bytes as u64;
+        let last = (addr + bytes - 1) / self.line_bytes as u64;
+        let mut missed = 0;
+        for line in first..=last {
+            if self.access_line(line, class) == Access::Miss {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Tags an access like [`SramCache::access_range`] but without ledgering
+    /// line traffic — for sub-line streaming reads whose exact byte traffic
+    /// the caller ledgers separately via [`SramCache::read_untagged`].
+    pub fn probe_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let saved = self.traffic;
+        let missed = self.access_range(addr, bytes, TrafficClass::Other);
+        self.traffic = saved;
+        missed
+    }
+
+    /// Records a write of `bytes` (writes are ledgered, not tagged: the
+    /// models use write-through traffic accounting).
+    pub fn write(&mut self, class: TrafficClass, bytes: u64) {
+        self.traffic.record(class, bytes);
+    }
+
+    /// Records a read of `bytes` that bypasses tag simulation (scratchpad
+    /// reads within a known-resident buffer).
+    pub fn read_untagged(&mut self, class: TrafficClass, bytes: u64) {
+        self.traffic.record(class, bytes);
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// SRAM traffic ledger (reads + writes).
+    pub fn traffic(&self) -> &TrafficLedger {
+        &self.traffic
+    }
+
+    /// Extracts the ledger and statistics, resetting tag state.
+    pub fn take_results(&mut self) -> (TrafficLedger, CacheStats) {
+        let out = (std::mem::take(&mut self.traffic), self.stats);
+        self.stats = CacheStats::default();
+        self.tags.fill(None);
+        self.lru.fill(0);
+        self.tick = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_of_default_matches_table3() {
+        let c = SramCache::loas_default();
+        assert_eq!(c.capacity_bytes(), 256 * 1024);
+        assert_eq!(c.banks(), 16);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn hits_after_first_touch() {
+        let mut c = SramCache::new(1024, 64, 2, 1);
+        assert_eq!(c.access_line(7, TrafficClass::Weight), Access::Miss);
+        assert_eq!(c.access_line(7, TrafficClass::Weight), Access::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1 set, 2 ways: line ids that collide in set 0.
+        let mut c = SramCache::new(2 * 64, 64, 2, 1);
+        c.access_line(0, TrafficClass::Input); // miss
+        c.access_line(1, TrafficClass::Input); // miss
+        c.access_line(0, TrafficClass::Input); // hit (0 now MRU)
+        c.access_line(2, TrafficClass::Input); // miss, evicts 1
+        assert_eq!(c.access_line(0, TrafficClass::Input), Access::Hit);
+        assert_eq!(c.access_line(1, TrafficClass::Input), Access::Miss);
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut c = SramCache::new(16 * 64, 64, 4, 1);
+        let missed = c.access_range(0, 200, TrafficClass::Weight); // lines 0..=3
+        assert_eq!(missed, 4);
+        assert_eq!(c.access_range(0, 200, TrafficClass::Weight), 0);
+        assert_eq!(c.access_range(0, 0, TrafficClass::Weight), 0);
+    }
+
+    #[test]
+    fn traffic_ledgered_per_line() {
+        let mut c = SramCache::new(1024, 64, 2, 1);
+        c.access_line(0, TrafficClass::Weight);
+        c.write(TrafficClass::Output, 10);
+        c.read_untagged(TrafficClass::Psum, 6);
+        assert_eq!(c.traffic().get(TrafficClass::Weight), 64);
+        assert_eq!(c.traffic().get(TrafficClass::Output), 10);
+        assert_eq!(c.traffic().total(), 80);
+    }
+
+    #[test]
+    fn take_results_resets() {
+        let mut c = SramCache::new(1024, 64, 2, 1);
+        c.access_line(3, TrafficClass::Input);
+        let (ledger, stats) = c.take_results();
+        assert_eq!(ledger.total(), 64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(c.stats().accesses(), 0);
+        // After reset the same line misses again.
+        assert_eq!(c.access_line(3, TrafficClass::Input), Access::Miss);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses() {
+        let mut c = SramCache::new(4 * 64, 64, 2, 2);
+        for i in 0..100u64 {
+            c.access_line(i % 7, TrafficClass::Other);
+        }
+        assert_eq!(c.stats().accesses(), 100);
+    }
+}

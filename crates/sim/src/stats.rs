@@ -1,0 +1,289 @@
+//! Traffic, operation, and cache statistics collected by accelerator models.
+
+use crate::clock::Cycle;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The traffic categories of the paper's Fig. 14 breakup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Weight fibers / dense weights (`B`).
+    Weight,
+    /// Input spikes or activations (`A`).
+    Input,
+    /// Partial sums spilled and refetched.
+    Psum,
+    /// Output spikes / activations (`C`).
+    Output,
+    /// Compression metadata: bitmasks, CSR coordinates, pointers.
+    Format,
+    /// Everything else (instructions, descriptors).
+    Other,
+}
+
+impl TrafficClass {
+    /// All classes, in Fig. 14 display order.
+    pub const ALL: [TrafficClass; 6] = [
+        TrafficClass::Weight,
+        TrafficClass::Input,
+        TrafficClass::Psum,
+        TrafficClass::Output,
+        TrafficClass::Format,
+        TrafficClass::Other,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Weight => "weight",
+            TrafficClass::Input => "input",
+            TrafficClass::Psum => "psum",
+            TrafficClass::Output => "output",
+            TrafficClass::Format => "format",
+            TrafficClass::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Weight => 0,
+            TrafficClass::Input => 1,
+            TrafficClass::Psum => 2,
+            TrafficClass::Output => 3,
+            TrafficClass::Format => 4,
+            TrafficClass::Other => 5,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Byte counts per [`TrafficClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficLedger {
+    bytes: [u64; 6],
+}
+
+impl TrafficLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of traffic of the given class.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64) {
+        self.bytes[class.index()] += bytes;
+    }
+
+    /// Records traffic measured in bits, rounding up to whole bytes.
+    pub fn record_bits(&mut self, class: TrafficClass, bits: u64) {
+        self.record(class, bits.div_ceil(8));
+    }
+
+    /// Bytes recorded for one class.
+    pub fn get(&self, class: TrafficClass) -> u64 {
+        self.bytes[class.index()]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total in kilobytes (the unit of Fig. 13's off-chip plot).
+    pub fn total_kb(&self) -> f64 {
+        self.total() as f64 / 1024.0
+    }
+
+    /// Total in megabytes (the unit of Fig. 13's on-chip plot).
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Iterator over `(class, bytes)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, u64)> + '_ {
+        TrafficClass::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+impl Add for TrafficLedger {
+    type Output = TrafficLedger;
+    fn add(mut self, rhs: TrafficLedger) -> TrafficLedger {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TrafficLedger {
+    fn add_assign(&mut self, rhs: TrafficLedger) {
+        for i in 0..6 {
+            self.bytes[i] += rhs.bytes[i];
+        }
+    }
+}
+
+/// Datapath operation counts, used by the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Accumulate (bitwise-AND + add) operations — the SNN compute primitive.
+    pub accumulates: u64,
+    /// Multiply-accumulate operations (ANN baselines only).
+    pub macs: u64,
+    /// Active cycles of fast prefix-sum circuits (summed over instances).
+    pub fast_prefix_cycles: u64,
+    /// Active cycles of laggy prefix-sum circuits (summed over instances).
+    pub laggy_prefix_cycles: u64,
+    /// LIF neuron updates (one per output neuron per timestep).
+    pub lif_updates: u64,
+    /// Merger operations (OP/Gustavson baselines).
+    pub merges: u64,
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.accumulates += rhs.accumulates;
+        self.macs += rhs.macs;
+        self.fast_prefix_cycles += rhs.fast_prefix_cycles;
+        self.laggy_prefix_cycles += rhs.laggy_prefix_cycles;
+        self.lif_updates += rhs.lif_updates;
+        self.merges += rhs.merges;
+    }
+}
+
+/// Cache hit/miss statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+    }
+}
+
+/// Everything an accelerator model reports for one simulated unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimStats {
+    /// End-to-end latency.
+    pub cycles: Cycle,
+    /// Cycles the execution was limited by memory bandwidth rather than
+    /// compute (for roofline diagnostics).
+    pub stall_cycles: Cycle,
+    /// Off-chip (DRAM/HBM) traffic by class.
+    pub dram: TrafficLedger,
+    /// On-chip SRAM traffic by class (reads + writes).
+    pub sram: TrafficLedger,
+    /// Global-cache behaviour.
+    pub cache: CacheStats,
+    /// Datapath operation counts.
+    pub ops: OpCounts,
+}
+
+impl SimStats {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another record into this one, summing every counter and
+    /// adding latencies (sequential composition, e.g. layer after layer).
+    pub fn merge_sequential(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.dram += other.dram;
+        self.sram += other.sram;
+        self.cache += other.cache;
+        self.ops += other.ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_by_class() {
+        let mut l = TrafficLedger::new();
+        l.record(TrafficClass::Weight, 100);
+        l.record(TrafficClass::Weight, 50);
+        l.record_bits(TrafficClass::Format, 9); // -> 2 bytes
+        assert_eq!(l.get(TrafficClass::Weight), 150);
+        assert_eq!(l.get(TrafficClass::Format), 2);
+        assert_eq!(l.total(), 152);
+    }
+
+    #[test]
+    fn ledger_addition() {
+        let mut a = TrafficLedger::new();
+        a.record(TrafficClass::Input, 10);
+        let mut b = TrafficLedger::new();
+        b.record(TrafficClass::Input, 5);
+        b.record(TrafficClass::Psum, 7);
+        let c = a + b;
+        assert_eq!(c.get(TrafficClass::Input), 15);
+        assert_eq!(c.get(TrafficClass::Psum), 7);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let mut l = TrafficLedger::new();
+        l.record(TrafficClass::Output, 2048);
+        assert!((l.total_kb() - 2.0).abs() < 1e-12);
+        assert!((l.total_mb() - 2.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_miss_rate() {
+        let c = CacheStats { hits: 90, misses: 10 };
+        assert!((c.miss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sequential_sums_everything() {
+        let mut a = SimStats::new();
+        a.cycles = Cycle(100);
+        a.ops.accumulates = 5;
+        let mut b = SimStats::new();
+        b.cycles = Cycle(50);
+        b.ops.accumulates = 3;
+        b.dram.record(TrafficClass::Weight, 64);
+        a.merge_sequential(&b);
+        assert_eq!(a.cycles, Cycle(150));
+        assert_eq!(a.ops.accumulates, 8);
+        assert_eq!(a.dram.get(TrafficClass::Weight), 64);
+    }
+
+    #[test]
+    fn class_iteration_ordered() {
+        let l = TrafficLedger::new();
+        let names: Vec<&str> = l.iter().map(|(c, _)| c.name()).collect();
+        assert_eq!(names, vec!["weight", "input", "psum", "output", "format", "other"]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Direct spike encoding (Section II-A2).
+//!
+//! Recent SNNs use *direct encoding*: the source data first passes through
+//! one ANN layer whose output is converted into spike trains over very few
+//! timesteps (T ≤ 4). We model the conversion stage: a normalised analog
+//! intensity in `[0, 1]` becomes a Bernoulli spike train whose rate equals
+//! the intensity. Generation is seeded and fully reproducible.
+
+use crate::tensor::SpikeTensor;
+
+/// Converts normalised analog activations into direct-coded spike trains.
+///
+/// # Examples
+///
+/// ```
+/// use loas_snn::DirectEncoder;
+///
+/// let enc = DirectEncoder::new(4, 7);
+/// let spikes = enc.encode(2, 3, &[0.0, 1.0, 0.5, 0.2, 0.9, 0.0]);
+/// assert_eq!(spikes.timesteps(), 4);
+/// // intensity 0 never fires; intensity 1 always fires
+/// assert_eq!(spikes.packed_word(0, 0).fire_count(), 0);
+/// assert_eq!(spikes.packed_word(0, 1).fire_count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectEncoder {
+    timesteps: usize,
+    seed: u64,
+}
+
+impl DirectEncoder {
+    /// Creates an encoder for `timesteps` timesteps with a generation seed.
+    pub fn new(timesteps: usize, seed: u64) -> Self {
+        DirectEncoder { timesteps, seed }
+    }
+
+    /// Number of timesteps produced per neuron.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Encodes an `m x k` intensity map (row-major, values clamped to
+    /// `[0, 1]`) into a spike tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `intensities.len() != m * k`.
+    pub fn encode(&self, m: usize, k: usize, intensities: &[f64]) -> SpikeTensor {
+        assert_eq!(
+            intensities.len(),
+            m * k,
+            "intensity map must have m*k entries"
+        );
+        let mut tensor = SpikeTensor::zeros(m, k, self.timesteps);
+        for mi in 0..m {
+            for ki in 0..k {
+                let p = intensities[mi * k + ki].clamp(0.0, 1.0);
+                for t in 0..self.timesteps {
+                    // Deterministic per-coordinate hash stream: cheap,
+                    // seedable, and independent across (m, k, t).
+                    let u = hash_unit(self.seed, (mi as u64) << 40 | (ki as u64) << 8 | t as u64);
+                    if u < p {
+                        tensor.set(mi, ki, t, true);
+                    }
+                }
+            }
+        }
+        tensor
+    }
+}
+
+/// SplitMix64-style hash mapped to a unit float in `[0, 1)`.
+fn hash_unit(seed: u64, x: u64) -> f64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let enc = DirectEncoder::new(4, 42);
+        let a = enc.encode(3, 3, &[0.5; 9]);
+        let b = enc.encode(3, 3, &[0.5; 9]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DirectEncoder::new(4, 1).encode(8, 8, &[0.5; 64]);
+        let b = DirectEncoder::new(4, 2).encode(8, 8, &[0.5; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extremes_are_deterministic() {
+        let enc = DirectEncoder::new(8, 3);
+        let t = enc.encode(1, 2, &[0.0, 1.0]);
+        assert!(t.packed_word(0, 0).is_silent());
+        assert!(t.packed_word(0, 1).is_all_ones());
+    }
+
+    #[test]
+    fn rate_tracks_intensity() {
+        let enc = DirectEncoder::new(4, 9);
+        let t = enc.encode(64, 64, &[0.25; 64 * 64]);
+        let rate = t.spike_count() as f64 / (64.0 * 64.0 * 4.0);
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn values_clamped() {
+        let enc = DirectEncoder::new(2, 5);
+        let t = enc.encode(1, 2, &[-3.0, 7.0]);
+        assert!(t.packed_word(0, 0).is_silent());
+        assert!(t.packed_word(0, 1).is_all_ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "m*k entries")]
+    fn wrong_intensity_count_panics() {
+        DirectEncoder::new(2, 5).encode(2, 2, &[0.5; 3]);
+    }
+}

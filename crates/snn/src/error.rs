@@ -1,0 +1,78 @@
+//! Error types for the SNN substrate.
+
+use loas_sparse::SparseError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by SNN tensors, layers, and networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnnError {
+    /// A sparse-format error bubbled up from `loas-sparse`.
+    Sparse(SparseError),
+    /// A layer received an input whose shape does not match its weights.
+    ShapeMismatch {
+        /// What the layer expected (e.g. its `K`).
+        expected: usize,
+        /// What it received.
+        actual: usize,
+        /// Which dimension disagreed.
+        dimension: &'static str,
+    },
+    /// A network was built with no layers.
+    EmptyNetwork,
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::Sparse(e) => write!(f, "sparse format error: {e}"),
+            SnnError::ShapeMismatch {
+                expected,
+                actual,
+                dimension,
+            } => write!(
+                f,
+                "shape mismatch on `{dimension}`: expected {expected}, got {actual}"
+            ),
+            SnnError::EmptyNetwork => write!(f, "network has no layers"),
+        }
+    }
+}
+
+impl Error for SnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnnError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for SnnError {
+    fn from(e: SparseError) -> Self {
+        SnnError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_from_sparse() {
+        let e: SnnError = SparseError::IndexOutOfBounds { index: 1, len: 0 }.into();
+        assert!(matches!(e, SnnError::Sparse(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display() {
+        let e = SnnError::ShapeMismatch {
+            expected: 3,
+            actual: 4,
+            dimension: "K",
+        };
+        assert!(e.to_string().contains('K'));
+        assert!(SnnError::EmptyNetwork.to_string().contains("no layers"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the sparse-format substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sparse-format constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two operands disagreed on a dimension that must match.
+    DimensionMismatch {
+        /// Human-readable name of the dimension (e.g. `"K"`).
+        dimension: &'static str,
+        /// Dimension size of the left operand.
+        left: usize,
+        /// Dimension size of the right operand.
+        right: usize,
+    },
+    /// An index was outside the valid range of a container.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// A value count disagreed with the number of set bits in a bitmask.
+    ValueCountMismatch {
+        /// Number of set bits in the coordinate bitmask.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// The number of timesteps exceeds what a packed spike word can hold.
+    TimestepOverflow {
+        /// Requested timestep count.
+        timesteps: usize,
+        /// Maximum supported timestep count.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SparseError::DimensionMismatch {
+                dimension,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension `{dimension}` mismatch: left operand has {left}, right operand has {right}"
+            ),
+            SparseError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            SparseError::ValueCountMismatch { expected, actual } => write!(
+                f,
+                "bitmask has {expected} set bits but {actual} values were supplied"
+            ),
+            SparseError::TimestepOverflow { timesteps, max } => write!(
+                f,
+                "requested {timesteps} timesteps but packed spike words hold at most {max}"
+            ),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SparseError::DimensionMismatch {
+            dimension: "K",
+            left: 4,
+            right: 8,
+        };
+        let text = err.to_string();
+        assert!(text.contains('K'));
+        assert!(text.contains('4'));
+        assert!(text.contains('8'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn Error> = Box::new(SparseError::IndexOutOfBounds { index: 9, len: 3 });
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

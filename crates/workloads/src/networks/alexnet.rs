@@ -1,0 +1,52 @@
+//! AlexNet for CIFAR-10: 7 layers (5 conv + 2 FC), Table II row 1.
+
+use super::{profiles, LayerSpec, NetworkSpec, DEFAULT_TIMESTEPS};
+use crate::shape::LayerShape;
+
+/// The 7-layer CIFAR-10 AlexNet. Layer 4 matches Table II's A-L4 tuple
+/// `(4, 64, 256, 3456)`.
+pub fn alexnet() -> NetworkSpec {
+    let t = DEFAULT_TIMESTEPS;
+    let profile = profiles::alexnet();
+    let shapes = [
+        // (out_hw, cin, cout, kernel) for conv layers
+        LayerShape::conv(t, 32, 3, 64, 3),    // L1: 32x32, 3 -> 64
+        LayerShape::conv(t, 16, 64, 192, 3),  // L2: pooled to 16x16
+        LayerShape::conv(t, 8, 192, 384, 3),  // L3: pooled to 8x8
+        LayerShape::conv(t, 8, 384, 256, 3),  // L4: A-L4 = (4, 64, 256, 3456)
+        LayerShape::conv(t, 8, 256, 256, 3),  // L5
+        LayerShape::linear(t, 256 * 2 * 2, 1024), // L6: FC after 2x2 pool
+        LayerShape::linear(t, 1024, 10),      // L7: classifier
+    ];
+    NetworkSpec {
+        name: "AlexNet".to_owned(),
+        layers: shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, shape)| LayerSpec {
+                name: format!("AlexNet-L{}", i + 1),
+                shape,
+                profile,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer4_is_a_l4() {
+        let net = alexnet();
+        assert_eq!(net.layers[3].shape, LayerShape::new(4, 64, 256, 3456));
+    }
+
+    #[test]
+    fn has_seven_layers_named_in_order() {
+        let net = alexnet();
+        assert_eq!(net.depth(), 7);
+        assert_eq!(net.layers[0].name, "AlexNet-L1");
+        assert_eq!(net.layers[6].name, "AlexNet-L7");
+    }
+}

@@ -1,0 +1,76 @@
+//! ResNet19 for CIFAR-10: 19 layers, Table II row 3.
+//!
+//! The SNN literature's ResNet19 (Zheng et al., "Going deeper with
+//! directly-trained larger SNNs") is a three-stage residual network. Im2col
+//! shapes below follow a plausible CIFAR-10 geometry anchored at the
+//! *published* final-layer tuple: Table II gives R-L19 = `(4, 16, 512, 2304)`
+//! (a 3x3 conv from 256 channels to 512 at 4x4 spatial), which layer 19
+//! reproduces exactly. Residual-branch adds are not separate spMspM layers
+//! and are omitted, as in the paper's workload table.
+
+use super::{profiles, LayerSpec, NetworkSpec, DEFAULT_TIMESTEPS};
+use crate::shape::LayerShape;
+
+/// The 19-layer CIFAR-10 ResNet19. Layer 19 matches Table II's R-L19 tuple
+/// `(4, 16, 512, 2304)`.
+pub fn resnet19() -> NetworkSpec {
+    let t = DEFAULT_TIMESTEPS;
+    let profile = profiles::resnet19();
+    let mut shapes = Vec::with_capacity(19);
+    // Stem.
+    shapes.push(LayerShape::conv(t, 32, 3, 128, 3)); // L1
+    // Stage 1: 128 channels at 32x32 (3 blocks x 2 convs).
+    for _ in 0..6 {
+        shapes.push(LayerShape::conv(t, 32, 128, 128, 3)); // L2-L7
+    }
+    // Stage 2: downsample to 16x16, 256 channels.
+    shapes.push(LayerShape::conv(t, 16, 128, 256, 3)); // L8
+    for _ in 0..4 {
+        shapes.push(LayerShape::conv(t, 16, 256, 256, 3)); // L9-L12
+    }
+    // Stage 3: downsample to 8x8, 256 channels.
+    shapes.push(LayerShape::conv(t, 8, 256, 256, 3)); // L13
+    for _ in 0..5 {
+        shapes.push(LayerShape::conv(t, 8, 256, 256, 3)); // L14-L18
+    }
+    // Final block: 256 -> 512 at 4x4 — the published R-L19 shape.
+    shapes.push(LayerShape::conv(t, 4, 256, 512, 3)); // L19
+    NetworkSpec {
+        name: "ResNet19".to_owned(),
+        layers: shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, shape)| LayerSpec {
+                name: format!("ResNet19-L{}", i + 1),
+                shape,
+                profile,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer19_is_r_l19() {
+        let net = resnet19();
+        assert_eq!(net.layers[18].shape, LayerShape::new(4, 16, 512, 2304));
+    }
+
+    #[test]
+    fn nineteen_layers() {
+        assert_eq!(resnet19().depth(), 19);
+    }
+
+    #[test]
+    fn resnet_is_heaviest_network() {
+        // ResNet19's lower sparsity and wide early stages make it the
+        // largest workload of the three CNNs (consistent with Fig. 12/13).
+        let r = resnet19().dense_ops();
+        let v = super::super::vgg16().dense_ops();
+        let a = super::super::alexnet().dense_ops();
+        assert!(r > v && r > a, "resnet {r} vs vgg {v} vs alexnet {a}");
+    }
+}

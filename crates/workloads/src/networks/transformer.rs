@@ -1,0 +1,36 @@
+//! The SpikeTransformer hidden feed-forward layer (T-HFF) used in the
+//! Fig. 17 layer-size scalability study.
+
+use super::{profiles, LayerSpec, DEFAULT_TIMESTEPS};
+use crate::shape::LayerShape;
+
+/// T-HFF: the hidden feed-forward layer of a Spike-driven Transformer,
+/// Table II's `(4, 784, 3072, 3072)` (784 = 14x14 tokens, 3072 = 4x768
+/// hidden width).
+pub fn spike_transformer_hff() -> LayerSpec {
+    LayerSpec {
+        name: "T-HFF".to_owned(),
+        shape: LayerShape::new(DEFAULT_TIMESTEPS, 784, 3072, 3072),
+        profile: profiles::t_hff(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table2() {
+        let l = spike_transformer_hff();
+        assert_eq!(l.shape, LayerShape::new(4, 784, 3072, 3072));
+        assert_eq!(l.name, "T-HFF");
+    }
+
+    #[test]
+    fn much_larger_than_v_l8() {
+        // The Fig. 17 point: T-HFF is a far larger layer than V-L8.
+        let hff = spike_transformer_hff().shape.dense_ops();
+        let v_l8 = LayerShape::new(4, 16, 512, 2304).dense_ops();
+        assert!(hff > 100 * v_l8);
+    }
+}

@@ -1,0 +1,72 @@
+//! VGG16 for CIFAR-10: 14 layers (13 conv + 1 FC), Table II row 2.
+
+use super::{profiles, LayerSpec, NetworkSpec, DEFAULT_TIMESTEPS};
+use crate::shape::LayerShape;
+
+/// The 14-layer CIFAR-10 VGG16 (13 conv + classifier), the common SNN
+/// variant. Layer 8 matches Table II's V-L8 tuple `(4, 16, 512, 2304)`.
+pub fn vgg16() -> NetworkSpec {
+    let t = DEFAULT_TIMESTEPS;
+    let profile = profiles::vgg16();
+    let shapes = [
+        LayerShape::conv(t, 32, 3, 64, 3),   // L1
+        LayerShape::conv(t, 32, 64, 64, 3),  // L2, pool -> 16
+        LayerShape::conv(t, 16, 64, 128, 3), // L3
+        LayerShape::conv(t, 16, 128, 128, 3), // L4, pool -> 8
+        LayerShape::conv(t, 8, 128, 256, 3), // L5
+        LayerShape::conv(t, 8, 256, 256, 3), // L6
+        LayerShape::conv(t, 8, 256, 256, 3), // L7, pool -> 4
+        LayerShape::conv(t, 4, 256, 512, 3), // L8: V-L8 = (4, 16, 512, 2304)
+        LayerShape::conv(t, 4, 512, 512, 3), // L9
+        LayerShape::conv(t, 4, 512, 512, 3), // L10, pool -> 2
+        LayerShape::conv(t, 2, 512, 512, 3), // L11
+        LayerShape::conv(t, 2, 512, 512, 3), // L12
+        LayerShape::conv(t, 2, 512, 512, 3), // L13, pool -> 1
+        LayerShape::linear(t, 512, 10),      // L14: classifier
+    ];
+    NetworkSpec {
+        name: "VGG16".to_owned(),
+        layers: shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, shape)| LayerSpec {
+                name: format!("VGG16-L{}", i + 1),
+                shape,
+                profile,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer8_is_v_l8() {
+        let net = vgg16();
+        assert_eq!(net.layers[7].shape, LayerShape::new(4, 16, 512, 2304));
+    }
+
+    #[test]
+    fn fourteen_layers() {
+        assert_eq!(vgg16().depth(), 14);
+    }
+
+    #[test]
+    fn channel_progression_chains() {
+        // Conv channel outputs feed the next layer's Cin (kernel 3x3).
+        let net = vgg16();
+        for pair in net.layers.windows(2) {
+            let n_prev = pair[0].shape.n;
+            let k_next = pair[1].shape.k;
+            // Either a conv following a conv (k = 9 * n_prev) or the final FC.
+            assert!(
+                k_next == 9 * n_prev || k_next == n_prev,
+                "layers {} -> {} do not chain",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+}

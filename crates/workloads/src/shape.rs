@@ -1,0 +1,107 @@
+//! Layer shapes in the paper's `(T, M, N, K)` convention.
+//!
+//! Convolution layers are viewed through im2col: `M` = output spatial
+//! positions (`OH·OW`), `K` = input patch size (`Cin·kh·kw`), `N` = output
+//! channels — exactly the `T,M,N,K` tuples of Table II.
+
+use std::fmt;
+
+/// The shape of one spMspM layer workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Number of timesteps `T`.
+    pub t: usize,
+    /// Output rows `M`.
+    pub m: usize,
+    /// Output columns `N`.
+    pub n: usize,
+    /// Contraction dimension `K`.
+    pub k: usize,
+}
+
+impl LayerShape {
+    /// Creates a shape from the paper's `(T, M, N, K)` tuple order.
+    pub fn new(t: usize, m: usize, n: usize, k: usize) -> Self {
+        LayerShape { t, m, n, k }
+    }
+
+    /// The im2col shape of a square convolution: `channels_in`, square
+    /// kernel `kernel`, producing `out_hw x out_hw` spatial outputs with
+    /// `channels_out` filters.
+    pub fn conv(t: usize, out_hw: usize, channels_in: usize, channels_out: usize, kernel: usize) -> Self {
+        LayerShape {
+            t,
+            m: out_hw * out_hw,
+            n: channels_out,
+            k: channels_in * kernel * kernel,
+        }
+    }
+
+    /// A fully-connected layer (`M = 1` per sample).
+    pub fn linear(t: usize, inputs: usize, outputs: usize) -> Self {
+        LayerShape {
+            t,
+            m: 1,
+            n: outputs,
+            k: inputs,
+        }
+    }
+
+    /// Dense multiply-accumulate count for one inference (`M·N·K·T`): the
+    /// work a dense accelerator performs.
+    pub fn dense_ops(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64 * self.t as u64
+    }
+
+    /// Number of output neurons (`M·N`).
+    pub fn outputs(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Number of pre-synaptic neuron positions (`M·K`).
+    pub fn inputs(&self) -> usize {
+        self.m * self.k
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{},{}", self.t, self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_selected_layers() {
+        // A-L4: 4,64,256,3456 — AlexNet conv4: 8x8 output, 384->256, 3x3.
+        assert_eq!(
+            LayerShape::conv(4, 8, 384, 256, 3),
+            LayerShape::new(4, 64, 256, 3456)
+        );
+        // V-L8: 4,16,512,2304 — VGG16 conv8: 4x4 output, 256->512, 3x3.
+        assert_eq!(
+            LayerShape::conv(4, 4, 256, 512, 3),
+            LayerShape::new(4, 16, 512, 2304)
+        );
+    }
+
+    #[test]
+    fn linear_has_m_one() {
+        let s = LayerShape::linear(4, 512, 10);
+        assert_eq!(s.m, 1);
+        assert_eq!(s.k, 512);
+        assert_eq!(s.n, 10);
+    }
+
+    #[test]
+    fn counts() {
+        let s = LayerShape::new(4, 2, 3, 5);
+        assert_eq!(s.dense_ops(), 120);
+        assert_eq!(s.outputs(), 6);
+        assert_eq!(s.inputs(), 10);
+        assert_eq!(s.to_string(), "4,2,3,5");
+    }
+}

@@ -1,0 +1,41 @@
+//! The Section III design-space walk: every placement of the timestep loop
+//! in every spMspM order, scored against the paper's three SNN-friendliness
+//! goals — showing that FTP (IP order, `t` innermost, spatially unrolled) is
+//! the unique winner.
+//!
+//! ```text
+//! cargo run --release --example dataflow_explorer [-- <timesteps>]
+//! ```
+
+use loas::core::dataflow::{analyze, DataflowVariant};
+
+fn main() {
+    let timesteps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!(
+        "{:<6} {:<6} {:<9} {:>10} {:>10} {:>7} {:>9}  goals",
+        "order", "t-pos", "temporal", "A refetch", "B refetch", "psums", "latency"
+    );
+    println!("{}", "-".repeat(78));
+    for variant in DataflowVariant::design_space() {
+        let costs = analyze(variant, timesteps);
+        let marker = if costs.meets_all_goals() { "  <-- FTP (all goals met)" } else { "" };
+        println!(
+            "{:<6} {:<6} {:<9} {:>9.0}x {:>9.0}x {:>6.0}x {:>8.0}x{}",
+            variant.order.name(),
+            variant.t_placement.0,
+            if variant.temporal_parallel { "parallel" } else { "seq" },
+            costs.a_refetch_factor,
+            costs.b_refetch_factor,
+            costs.psum_factor,
+            costs.latency_factor,
+            marker,
+        );
+    }
+    println!(
+        "\ngoals (Section III): (1) no refetch across timesteps, (2) no extra psums on t, (3) no serialized-timestep latency"
+    );
+    println!("t-pos: 0 = outermost loop, 3 = innermost loop");
+}

@@ -1,0 +1,75 @@
+//! Anatomy of the FTP pipeline on one output neuron: compression, the
+//! FTP-friendly inner-join (fast + laggy prefix-sums, pseudo/correction
+//! accumulators), and the one-shot P-LIF — the paper's Figs. 8-10 as code.
+//!
+//! ```text
+//! cargo run --release --example dual_sparse_layer
+//! ```
+
+use loas::core::{compress, InnerJoinUnit, ParallelLif, Tppe};
+use loas::sparse::{PackedSpikes, SpikeFiber, WeightFiber};
+use loas::{LifParams, LoasConfig, SpikeTensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Fig. 8: packed spike compression.
+    // Row 0 of A: neuron 0 fires at t0,t2; neurons 1-2 silent; neuron 3
+    // fires at t1,t2,t3.
+    let mut a = SpikeTensor::zeros(1, 4, 4);
+    a.set(0, 0, 0, true);
+    a.set(0, 0, 2, true);
+    a.set(0, 3, 1, true);
+    a.set(0, 3, 2, true);
+    a.set(0, 3, 3, true);
+    let (fibers, report) = compress::compress_tensor(&a);
+    println!("Fig. 8 — compression of row 0:");
+    for (k, word) in fibers[0].iter() {
+        println!("  neuron {k}: packed word {word} ({} fires)", word.fire_count());
+    }
+    println!(
+        "  {} of {} neurons stored; payload {} bits + format {} bits; {:.0}% efficiency",
+        report.stored_neurons,
+        report.positions,
+        report.payload_bits,
+        report.format_bits,
+        report.efficiency() * 100.0
+    );
+
+    // ---- Figs. 9-10: the FTP-friendly inner-join.
+    let config = LoasConfig::table3();
+    let join = InnerJoinUnit::new(&config);
+    let mut row = vec![PackedSpikes::silent(4)?; 8];
+    row[2] = PackedSpikes::from_bits(0b1111, 4)?; // fires everywhere: prediction correct
+    row[4] = PackedSpikes::from_bits(0b0101, 4)?; // fires t0,t2: needs corrections
+    let fiber_a = SpikeFiber::from_packed_row(&row);
+    let mut weights = vec![0i8; 8];
+    weights[2] = 3;
+    weights[4] = 5;
+    weights[7] = 9; // silent on the A side: no match
+    let fiber_b = WeightFiber::from_weights(&weights);
+    let outcome = join.join(&fiber_a, &fiber_b);
+    println!("\nFigs. 9-10 — inner-join walk:");
+    println!(
+        "  {} matches, {} correct predictions (all-ones), {} corrections",
+        outcome.matches, outcome.predictions_correct, outcome.corrections
+    );
+    println!("  per-timestep sums: {:?}", outcome.sums);
+    println!(
+        "  {} cycles (fast prefix active {}, laggy active {})",
+        outcome.cycles, outcome.fast_prefix_cycles, outcome.laggy_prefix_cycles
+    );
+
+    // ---- Fig. 7: P-LIF fires all timesteps in one shot.
+    let plif = ParallelLif::new(LifParams::new(4, 1), 4);
+    let fired = plif.fire(&outcome.sums);
+    println!("\nFig. 7 — P-LIF one-shot output: {} (membrane {})", fired.spikes, fired.membrane);
+
+    // ---- A whole TPPE pass combines all of the above.
+    let tppe = Tppe::new(&config);
+    let pass = tppe.process(&fiber_a, &fiber_b, LifParams::new(4, 1));
+    assert_eq!(pass.plif.spikes, fired.spikes);
+    println!(
+        "TPPE pass: {} compute cycles (join + P-LIF), fiber-B load {} cycles",
+        pass.compute_cycles, pass.b_load_cycles
+    );
+    Ok(())
+}

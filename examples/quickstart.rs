@@ -1,0 +1,54 @@
+//! Quickstart: generate a dual-sparse SNN layer, run it through the golden
+//! functional model and through the LoAS accelerator simulator, and print
+//! the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use loas::workloads::networks::profiles;
+use loas::{Accelerator, LayerShape, Loas, PreparedLayer, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a workload with VGG16-like sparsity (Table II): 82.3%
+    //    spike sparsity, 74.1% silent neurons, 98.2% weight sparsity.
+    let generator = WorkloadGenerator::default();
+    let shape = LayerShape::new(4, 32, 64, 512); // (T, M, N, K)
+    let workload = generator.generate("quickstart", shape, &profiles::vgg16())?;
+    println!("workload `{}` {}: {}", workload.name, shape, workload.stats().table_row());
+
+    // 2. Golden functional pass (Eqs. 1-3 of the paper).
+    let golden = workload.golden_layer().forward(&workload.spikes)?;
+    println!(
+        "golden output: {} spikes over {} outputs x {} timesteps ({:.1}% sparse)",
+        golden.spikes.spike_count(),
+        shape.outputs(),
+        shape.t,
+        golden.spikes.origin_sparsity() * 100.0
+    );
+
+    // 3. Cycle-level LoAS simulation with functional verification: the
+    //    accelerator's bit-exact datapath must reproduce the golden spikes.
+    let prepared = PreparedLayer::new(&workload);
+    let report = Loas::default().with_verification(true).run_layer(&prepared);
+    assert_eq!(
+        report.output.as_ref().expect("verification enabled"),
+        &golden.spikes,
+        "LoAS datapath must be bit-exact vs the golden model"
+    );
+    println!(
+        "LoAS: {} cycles, {:.1} KB off-chip, {:.1} KB on-chip, {:.2} uJ",
+        report.stats.cycles.get(),
+        report.stats.dram.total_kb(),
+        report.stats.sram.total_kb(),
+        report.energy.total_uj()
+    );
+    println!(
+        "      {} accumulates, {} LIF updates, cache miss rate {:.2}%",
+        report.stats.ops.accumulates,
+        report.stats.ops.lif_updates,
+        report.stats.cache.miss_rate() * 100.0
+    );
+    println!("datapath verified bit-exact against the golden model");
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Cross-accelerator invariants: the relative behaviours the paper's
+//! evaluation rests on must hold on shared workloads.
+
+use loas::workloads::networks::profiles;
+use loas::{
+    Accelerator, GammaSnn, GospaSnn, LayerShape, Loas, PreparedLayer, Ptb, SparTenSnn,
+    SparsityProfile, Stellar, WorkloadGenerator,
+};
+
+fn prepared(seed: u64, shape: LayerShape, profile: &SparsityProfile) -> PreparedLayer {
+    let w = WorkloadGenerator::new(seed)
+        .generate(&format!("cross-{seed}-{shape}"), shape, profile)
+        .expect("profile feasible");
+    PreparedLayer::new(&w)
+}
+
+#[test]
+fn loas_is_fastest_design_on_dual_sparse_layers() {
+    let layer = prepared(1, LayerShape::new(4, 32, 32, 512), &profiles::vgg16());
+    let loas = Loas::default().run_layer(&layer);
+    for report in [
+        SparTenSnn::default().run_layer(&layer),
+        GospaSnn::default().run_layer(&layer),
+        GammaSnn::default().run_layer(&layer),
+        Ptb::default().run_layer(&layer),
+        Stellar::default().run_layer(&layer),
+    ] {
+        assert!(
+            loas.stats.cycles <= report.stats.cycles,
+            "{} beat LoAS: {} vs {}",
+            report.accelerator,
+            report.stats.cycles.get(),
+            loas.stats.cycles.get()
+        );
+    }
+}
+
+#[test]
+fn loas_has_least_offchip_and_onchip_traffic_among_spmspm_designs() {
+    let layer = prepared(2, LayerShape::new(4, 32, 32, 512), &profiles::alexnet());
+    let loas = Loas::default().run_layer(&layer);
+    for report in [
+        SparTenSnn::default().run_layer(&layer),
+        GospaSnn::default().run_layer(&layer),
+        GammaSnn::default().run_layer(&layer),
+    ] {
+        assert!(
+            loas.stats.dram.total() <= report.stats.dram.total(),
+            "{} off-chip below LoAS",
+            report.accelerator
+        );
+        assert!(
+            loas.stats.sram.total() <= report.stats.sram.total(),
+            "{} on-chip below LoAS",
+            report.accelerator
+        );
+    }
+}
+
+#[test]
+fn sequential_timesteps_amplify_sparten_work_by_the_firing_factor() {
+    // SparTen accumulates per-timestep matches; LoAS accumulates packed
+    // matches + corrections. The pseudo-accumulation identity says the two
+    // relate through mean fires per non-silent neuron.
+    let layer = prepared(3, LayerShape::new(4, 16, 24, 256), &profiles::resnet19());
+    let loas = Loas::default().run_layer(&layer);
+    let sparten = SparTenSnn::default().run_layer(&layer);
+    // Sum over t of matches_t (SparTen) must exceed packed matches (LoAS
+    // pseudo ops are matches + corrections, so compare through fast-prefix
+    // activity instead, which counts match events).
+    assert!(sparten.stats.ops.accumulates > 0);
+    assert!(loas.stats.ops.accumulates > 0);
+    let amplification =
+        sparten.stats.ops.fast_prefix_cycles as f64 / loas.stats.ops.fast_prefix_cycles as f64;
+    assert!(
+        amplification > 1.5,
+        "temporal amplification should exceed 1.5x: {amplification}"
+    );
+}
+
+#[test]
+fn gospa_psum_spill_grows_with_timesteps() {
+    let profile = profiles::resnet19();
+    let big = |t: usize| {
+        let shape = LayerShape::new(t, 256, 256, 128);
+        prepared(4, shape, &profile)
+    };
+    let t1 = GospaSnn::default().run_layer(&big(1));
+    let t4 = GospaSnn::default().run_layer(&big(4));
+    let p1 = t1.stats.dram.get(loas::sim::TrafficClass::Psum);
+    let p4 = t4.stats.dram.get(loas::sim::TrafficClass::Psum);
+    assert!(p4 > p1, "psum spill must grow with T: {p1} -> {p4}");
+}
+
+#[test]
+fn higher_silence_means_less_loas_work() {
+    // Silent-skipping monotonicity: a sparser-A workload does fewer
+    // accumulations and finishes sooner on LoAS, all else equal.
+    let sparse_profile = SparsityProfile::from_percentages(90.0, 85.0, 88.0, 95.0).unwrap();
+    let dense_profile = SparsityProfile::from_percentages(60.0, 40.0, 48.0, 95.0).unwrap();
+    let shape = LayerShape::new(4, 32, 16, 256);
+    let sparse_report = Loas::default().run_layer(&prepared(5, shape, &sparse_profile));
+    let dense_report = Loas::default().run_layer(&prepared(5, shape, &dense_profile));
+    assert!(sparse_report.stats.ops.accumulates < dense_report.stats.ops.accumulates);
+    assert!(sparse_report.stats.cycles <= dense_report.stats.cycles);
+}
+
+#[test]
+fn dense_designs_are_insensitive_to_weight_sparsity() {
+    let shape = LayerShape::new(4, 32, 16, 256);
+    let sparse_w = prepared(6, shape, &profiles::vgg16()); // 98.2% weights
+    let dense_w = prepared(
+        6,
+        shape,
+        &SparsityProfile::from_percentages(82.3, 74.1, 79.6, 25.0).unwrap(),
+    );
+    let ptb_sparse = Ptb::default().run_layer(&sparse_w);
+    let ptb_dense = Ptb::default().run_layer(&dense_w);
+    assert_eq!(
+        ptb_sparse.stats.ops.accumulates,
+        ptb_dense.stats.ops.accumulates,
+        "PTB cannot exploit weight sparsity"
+    );
+    let loas_sparse = Loas::default().run_layer(&sparse_w);
+    let loas_dense = Loas::default().run_layer(&dense_w);
+    assert!(
+        loas_sparse.stats.ops.accumulates < loas_dense.stats.ops.accumulates,
+        "LoAS must exploit weight sparsity"
+    );
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let layer = prepared(7, LayerShape::new(4, 16, 16, 128), &profiles::vgg16());
+    let a = Loas::default().run_layer(&layer);
+    let b = Loas::default().run_layer(&layer);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.dram.total(), b.stats.dram.total());
+    assert_eq!(a.stats.sram.total(), b.stats.sram.total());
+    assert_eq!(a.stats.ops.accumulates, b.stats.ops.accumulates);
+}
+
+#[test]
+fn stall_accounting_never_exceeds_total() {
+    let layer = prepared(8, LayerShape::new(4, 48, 24, 384), &profiles::alexnet());
+    for report in [
+        Loas::default().run_layer(&layer),
+        SparTenSnn::default().run_layer(&layer),
+        GospaSnn::default().run_layer(&layer),
+        GammaSnn::default().run_layer(&layer),
+        Ptb::default().run_layer(&layer),
+        Stellar::default().run_layer(&layer),
+    ] {
+        assert!(
+            report.stats.stall_cycles <= report.stats.cycles,
+            "{}: stalls {} > total {}",
+            report.accelerator,
+            report.stats.stall_cycles.get(),
+            report.stats.cycles.get()
+        );
+        assert!(report.energy.total_pj() > 0.0, "{}", report.accelerator);
+    }
+}
