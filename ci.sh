@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints on the engine crate, release build, and
+# the full workspace test suite (tier-1 verify is the last two steps).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (loas-engine, deny warnings)"
+cargo clippy -p loas-engine --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -31,23 +31,14 @@ impl AnnPrepared {
     pub fn new(workload: &AnnWorkload) -> Self {
         let shape = workload.shape;
         let a_row_masks: Vec<Bitmask> = (0..shape.m)
-            .map(|m| {
-                Bitmask::from_bools(workload.activations.row(m).iter().map(|&v| v != 0))
-            })
+            .map(|m| Bitmask::from_bools(workload.activations.row(m).iter().map(|&v| v != 0)))
             .collect();
         let a_nnz = a_row_masks.iter().map(Bitmask::popcount).sum();
         let b_fibers = (0..shape.n)
             .map(|n| WeightFiber::from_weights(&workload.weights.column(n)))
             .collect();
         let b_row_nnz = (0..shape.k)
-            .map(|k| {
-                workload
-                    .weights
-                    .row(k)
-                    .iter()
-                    .filter(|&&w| w != 0)
-                    .count()
-            })
+            .map(|k| workload.weights.row(k).iter().filter(|&&w| w != 0).count())
             .collect();
         AnnPrepared {
             name: workload.name.clone(),
@@ -70,17 +61,21 @@ pub fn run_sparten_ann(prepared: &AnnPrepared) -> LayerReport {
 
     // Off-chip: compressed activations (bitmask + 8-bit values), compressed
     // weights, dense 8-bit outputs.
-    machine
-        .hbm
-        .read_bits(TrafficClass::Format, (shape.m * (shape.k + POINTER_BITS)) as u64);
+    machine.hbm.read_bits(
+        TrafficClass::Format,
+        (shape.m * (shape.k + POINTER_BITS)) as u64,
+    );
     machine
         .hbm
         .read_bits(TrafficClass::Input, (prepared.a_nnz * 8) as u64);
     let b_nnz: usize = prepared.b_fibers.iter().map(WeightFiber::nnz).sum();
-    machine.hbm.read_bits(TrafficClass::Weight, (b_nnz * 8) as u64);
     machine
         .hbm
-        .read_bits(TrafficClass::Format, (shape.n * (shape.k + POINTER_BITS)) as u64);
+        .read_bits(TrafficClass::Weight, (b_nnz * 8) as u64);
+    machine.hbm.read_bits(
+        TrafficClass::Format,
+        (shape.n * (shape.k + POINTER_BITS)) as u64,
+    );
     machine
         .hbm
         .write(TrafficClass::Output, (shape.m * shape.n) as u64);
@@ -110,12 +105,8 @@ pub fn run_sparten_ann(prepared: &AnnPrepared) -> LayerReport {
                 // Both offsets come from fast prefix-sums (two circuits).
                 machine.stats.ops.fast_prefix_cycles += 2 * (chunks + matches);
                 // Matched activations *and* weights are fetched by value.
-                machine
-                    .cache
-                    .read_untagged(TrafficClass::Input, matches);
-                machine
-                    .cache
-                    .read_untagged(TrafficClass::Weight, matches);
+                machine.cache.read_untagged(TrafficClass::Input, matches);
+                machine.cache.read_untagged(TrafficClass::Weight, matches);
             }
             compute += worst;
         }
@@ -135,14 +126,17 @@ pub fn run_gamma_ann(prepared: &AnnPrepared) -> LayerReport {
     let coord_bits = loas_sparse::coordinate_bits(shape.n);
     let mut machine = Machine::standard();
 
-    machine
-        .hbm
-        .read_bits(TrafficClass::Format, (shape.m * (shape.k + POINTER_BITS)) as u64);
+    machine.hbm.read_bits(
+        TrafficClass::Format,
+        (shape.m * (shape.k + POINTER_BITS)) as u64,
+    );
     machine
         .hbm
         .read_bits(TrafficClass::Input, (prepared.a_nnz * 8) as u64);
     let b_nnz: usize = prepared.b_fibers.iter().map(WeightFiber::nnz).sum();
-    machine.hbm.read_bits(TrafficClass::Weight, (b_nnz * 8) as u64);
+    machine
+        .hbm
+        .read_bits(TrafficClass::Weight, (b_nnz * 8) as u64);
     // B rows in the shared bitmask-fiber format (consistent with the SNN
     // designs): N-bit row mask + pointer per row.
     machine.hbm.read_bits(

@@ -38,12 +38,7 @@ impl Machine {
     /// (`max(compute, dram, sram)` — all baselines share the 16-bank,
     /// 16-byte-port SRAM of the LoAS configuration), folds in ledgers, and
     /// rolls up energy.
-    pub fn finish(
-        mut self,
-        workload: &str,
-        accelerator: &str,
-        compute_cycles: u64,
-    ) -> LayerReport {
+    pub fn finish(mut self, workload: &str, accelerator: &str, compute_cycles: u64) -> LayerReport {
         let dram_cycles = self.hbm.transfer_cycles(self.hbm.ledger().total()).get();
         self.stats.dram = self.hbm.take_ledger();
         let (sram, cache_stats) = self.cache.take_results();
@@ -88,5 +83,4 @@ mod tests {
         let report = m.finish("w", "a", 500);
         assert_eq!(report.stats.cycles.get(), 500);
     }
-
 }

@@ -131,12 +131,13 @@ impl Accelerator for GammaSnn {
                         let nnz_b = layer.b_row_nnz[k] as u64;
                         // Fetch B row k from the FiberCache (repeated every
                         // timestep and every row of A that needs it).
-                        let bytes =
-                            ((layer.b_row_nnz[k] * (p.weight_bits + coord_bits)).div_ceil(8))
-                                as u64;
-                        let missed = machine
-                            .cache
-                            .access_range(b_row_addr[k], bytes.max(1), TrafficClass::Weight);
+                        let bytes = ((layer.b_row_nnz[k] * (p.weight_bits + coord_bits))
+                            .div_ceil(8)) as u64;
+                        let missed = machine.cache.access_range(
+                            b_row_addr[k],
+                            bytes.max(1),
+                            TrafficClass::Weight,
+                        );
                         machine.hbm.read(TrafficClass::Weight, missed * line);
                         row_products += nnz_b.max(1);
                         fibers += 1;

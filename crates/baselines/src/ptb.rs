@@ -79,14 +79,19 @@ impl Accelerator for Ptb {
         machine
             .cache
             .read_untagged(TrafficClass::Weight, weight_stream);
-        machine.cache.read_untagged(TrafficClass::Input, input_stream);
         machine
             .cache
-            .write(TrafficClass::Output, (shape.m * shape.n * shape.t / 8) as u64);
+            .read_untagged(TrafficClass::Input, input_stream);
+        machine.cache.write(
+            TrafficClass::Output,
+            (shape.m * shape.n * shape.t / 8) as u64,
+        );
 
         // ---- Compute: dense K-deep reduction per output, derated by the
         // small-T utilization penalty.
-        let ideal = p.array.total_cycles((shape.m * shape.n) as u64, shape.k as u64);
+        let ideal = p
+            .array
+            .total_cycles((shape.m * shape.n) as u64, shape.k as u64);
         let compute = (ideal.get() as f64 / p.utilization).ceil() as u64;
         machine.stats.ops.accumulates = (shape.m * shape.n * shape.k * shape.t) as u64;
         machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
@@ -117,7 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn far_slower_than_loas_on_dual_sparse(){
+    fn far_slower_than_loas_on_dual_sparse() {
         let l = layer();
         let ptb = Ptb::default().run_layer(&l);
         let loas = Loas::default().run_layer(&l);

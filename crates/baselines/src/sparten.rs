@@ -79,10 +79,9 @@ impl Accelerator for SparTenSnn {
         // are dense spike trains.
         let (b_payload, _) = layer.b_compressed_bits(p.weight_bits);
         machine.hbm.read_bits(TrafficClass::Weight, b_payload);
-        machine.hbm.write_bits(
-            TrafficClass::Output,
-            (shape.m * shape.n * shape.t) as u64,
-        );
+        machine
+            .hbm
+            .write_bits(TrafficClass::Output, (shape.m * shape.n * shape.t) as u64);
         let line = machine.cache.line_bytes() as u64;
 
         // Address map for cache tags: A planes then B fibers.
@@ -127,17 +126,17 @@ impl Accelerator for SparTenSnn {
                 // unit scans it anew each round); rounds that fall out of
                 // the cache refetch from DRAM.
                 for _t in 0..shape.t {
-                    let missed = machine
-                        .cache
-                        .access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
+                    let missed =
+                        machine
+                            .cache
+                            .access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
                     machine.hbm.read(TrafficClass::Format, missed * line);
                 }
                 for m in rows.clone() {
                     for plane in planes {
-                        let matches_t =
-                            plane.row(m).and_count(bm_b).expect("equal K") as u64;
-                        tile_work +=
-                            chunks + matches_t + p.timestep_restart_cycles + 1; // LIF step
+                        let matches_t = plane.row(m).and_count(bm_b).expect("equal K") as u64;
+                        tile_work += chunks + matches_t + p.timestep_restart_cycles + 1; // LIF step
+
                         // Matched weights fetched per timestep round: no
                         // temporal reuse (Fig. 4's inefficiency).
                         machine.cache.read_untagged(
@@ -153,10 +152,9 @@ impl Accelerator for SparTenSnn {
             compute += tile_work.div_ceil(p.pes as u64);
             // Dense output spike trains written per tile.
             for _m in rows {
-                machine.cache.write(
-                    TrafficClass::Output,
-                    (shape.n * shape.t).div_ceil(8) as u64,
-                );
+                machine
+                    .cache
+                    .write(TrafficClass::Output, (shape.n * shape.t).div_ceil(8) as u64);
             }
             tile_start = tile_end;
         }

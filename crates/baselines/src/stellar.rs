@@ -95,9 +95,10 @@ impl Accelerator for Stellar {
             TrafficClass::Input,
             (layer.a_nnz() * shape.t).div_ceil(8) as u64 * shape.n.div_ceil(p.array.rows) as u64,
         );
-        machine
-            .cache
-            .write(TrafficClass::Output, (shape.m * shape.n * shape.t / 8) as u64);
+        machine.cache.write(
+            TrafficClass::Output,
+            (shape.m * shape.n * shape.t / 8) as u64,
+        );
         machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
         machine.finish(&layer.name, &self.name(), compute)
     }

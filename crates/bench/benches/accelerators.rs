@@ -27,13 +27,7 @@ fn bench_designs(c: &mut Criterion) {
         b.iter(|| black_box(Loas::default().run_layer(&layer)))
     });
     group.bench_function("loas_verified", |b| {
-        b.iter(|| {
-            black_box(
-                Loas::default()
-                    .with_verification(true)
-                    .run_layer(&layer),
-            )
-        })
+        b.iter(|| black_box(Loas::default().with_verification(true).run_layer(&layer)))
     });
     group.bench_function("sparten_snn", |b| {
         b.iter(|| black_box(SparTenSnn::default().run_layer(&layer)))

@@ -7,12 +7,24 @@ use loas_workloads::networks;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mut ctx = if quick { Context::quick() } else { Context::full() };
+    let mut ctx = if quick {
+        Context::quick()
+    } else {
+        Context::full()
+    };
     for spec in [networks::alexnet(), networks::vgg16(), networks::resnet19()] {
         println!("== {} ==", spec.name);
         println!(
             "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
-            "design", "cycles", "dramMB", "sramMB", "E.dram", "E.sram", "E.comp", "E.spars", "miss%"
+            "design",
+            "cycles",
+            "dramMB",
+            "sramMB",
+            "E.dram",
+            "E.sram",
+            "E.comp",
+            "E.spars",
+            "miss%"
         );
         for design in Design::SPMSPM_SET {
             let r = ctx.network_report(&spec, design);

@@ -5,8 +5,9 @@ use loas_bench::{experiments, Context};
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [all | table1 table2 table3 table4 \
-                     fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 ablations ...]";
+const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [--workers N] [all | table1 table2 \
+                     table3 table4 fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 \
+                     ablations ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,6 +17,12 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| w.parse().expect("--workers takes a number"))
+        .unwrap_or_else(loas_engine::default_workers);
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .into_iter()
@@ -24,7 +31,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if a == "--csv" {
+            if a == "--csv" || a == "--workers" {
                 skip_next = true;
                 return false;
             }
@@ -38,16 +45,13 @@ fn main() {
             .map(|(name, _)| (*name).to_owned())
             .collect();
     }
-    let mut ctx = if quick { Context::quick() } else { Context::full() };
+    let mut ctx = Context::with_workers(quick, workers);
     if quick {
         println!("(quick mode: shrunken workloads — trends hold, magnitudes shift)");
     }
     let mut failures = 0;
     for name in &wanted {
-        let Some((_, runner)) = experiments::ALL_EXPERIMENTS
-            .iter()
-            .find(|(n, _)| n == name)
-        else {
+        let Some((_, runner)) = experiments::ALL_EXPERIMENTS.iter().find(|(n, _)| n == name) else {
             eprintln!("unknown experiment `{name}`\n{USAGE}");
             failures += 1;
             continue;
@@ -65,6 +69,13 @@ fn main() {
         }
         println!("  [{name} done in {:.1?}]", start.elapsed());
     }
+    let cache = ctx.engine().cache_stats();
+    println!(
+        "[engine: {} workers, {} workloads generated, {} cache hits]",
+        ctx.engine().workers(),
+        cache.generated,
+        cache.hits
+    );
     if failures > 0 {
         std::process::exit(2);
     }

@@ -1,10 +1,14 @@
-//! Shared experiment context: workload generation and simulation caching.
+//! Shared experiment context: an embedded [`loas_engine::Engine`] whose
+//! prepared-layer cache and worker pool are shared by every experiment, so
+//! the repro harness generates each workload exactly once and shards
+//! simulation jobs across threads.
 
-use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
-use loas_core::{Accelerator, Loas, LoasConfig, NetworkReport, PreparedLayer};
-use loas_workloads::networks::NetworkSpec;
+use loas_core::{NetworkReport, PreparedLayer};
+use loas_engine::{AcceleratorSpec, Campaign, CampaignOutcome, Engine, WorkloadSpec};
+use loas_workloads::networks::{LayerSpec, NetworkSpec};
 use loas_workloads::{LayerWorkload, WorkloadGenerator};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The accelerators compared in Figs. 12-14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,13 +56,27 @@ impl Design {
     pub fn uses_ft_workload(self) -> bool {
         matches!(self, Design::LoasFt)
     }
+
+    /// The engine-level accelerator spec this design runs as.
+    pub fn accelerator_spec(self) -> AcceleratorSpec {
+        match self {
+            Design::SparTen => AcceleratorSpec::SparTen,
+            Design::Gospa => AcceleratorSpec::Gospa,
+            Design::Gamma => AcceleratorSpec::Gamma,
+            Design::Loas => AcceleratorSpec::loas(),
+            Design::LoasFt => AcceleratorSpec::loas_ft(),
+            Design::Ptb => AcceleratorSpec::Ptb,
+            Design::Stellar => AcceleratorSpec::Stellar,
+        }
+    }
 }
 
-/// Caches generated workloads and simulation results across experiments so
-/// the repro harness generates each network exactly once.
+/// Campaign-backed experiment context. Workload generation, preparation,
+/// and network simulation all run through one [`Engine`], whose cache spans
+/// every experiment of a repro session.
 pub struct Context {
     generator: WorkloadGenerator,
-    prepared: HashMap<String, Vec<PreparedLayer>>,
+    engine: Engine,
     reports: HashMap<(String, Design), NetworkReport>,
     /// Scale factor applied to layer `M`/`N` for quick (CI) runs.
     quick: bool,
@@ -67,22 +85,22 @@ pub struct Context {
 impl Context {
     /// A full-fidelity context (used by the repro binary).
     pub fn full() -> Self {
-        Context {
-            generator: WorkloadGenerator::default(),
-            prepared: HashMap::new(),
-            reports: HashMap::new(),
-            quick: false,
-        }
+        Context::with_workers(false, loas_engine::default_workers())
     }
 
     /// A reduced context for tests/benches: layer `M` and `N` are shrunk
     /// (sparsity statistics and model behaviour are scale-free).
     pub fn quick() -> Self {
+        Context::with_workers(true, loas_engine::default_workers())
+    }
+
+    /// A context with an explicit worker count.
+    pub fn with_workers(quick: bool, workers: usize) -> Self {
         Context {
             generator: WorkloadGenerator::default(),
-            prepared: HashMap::new(),
+            engine: Engine::new(workers),
             reports: HashMap::new(),
-            quick: true,
+            quick,
         }
     }
 
@@ -96,32 +114,61 @@ impl Context {
         &self.generator
     }
 
+    /// The embedded campaign engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Shrinks a layer spec in quick mode (identity at full fidelity).
+    pub fn shrink_layer(&self, spec: &LayerSpec) -> LayerSpec {
+        if self.quick {
+            spec.shrunk_for_quick()
+        } else {
+            spec.clone()
+        }
+    }
+
     fn shrink(&self, spec: &NetworkSpec) -> NetworkSpec {
-        if !self.quick {
-            return spec.clone();
-        }
         let mut shrunk = spec.clone();
-        for layer in &mut shrunk.layers {
-            layer.shape.m = layer.shape.m.clamp(1, 16);
-            layer.shape.n = layer.shape.n.min(32);
-            layer.shape.k = layer.shape.k.min(512);
-        }
+        shrunk.layers = spec.layers.iter().map(|l| self.shrink_layer(l)).collect();
         shrunk
+    }
+
+    /// The engine workload spec of a layer (quick shrink + session seed
+    /// applied).
+    pub fn workload_spec(&self, spec: &LayerSpec) -> WorkloadSpec {
+        WorkloadSpec::from_layer(&self.shrink_layer(spec)).with_seed(self.generator.seed())
+    }
+
+    /// Runs a campaign on the shared engine, panicking on generation
+    /// failures (experiment profiles are known-feasible).
+    pub fn run_campaign(&self, campaign: &Campaign) -> CampaignOutcome {
+        self.engine
+            .run(campaign)
+            .expect("experiment workload profiles are feasible")
+    }
+
+    /// Prepares (once) one layer workload through the engine cache.
+    pub fn prepared_layer(&self, spec: &LayerSpec) -> Arc<PreparedLayer> {
+        let workload = self.workload_spec(spec);
+        self.engine
+            .prepare(std::slice::from_ref(&workload))
+            .expect("experiment workload profiles are feasible")
+            .remove(0)
     }
 
     /// Generates (once) and returns the prepared layers of a network —
     /// base workloads, not FT-masked.
-    pub fn prepared_network(&mut self, spec: &NetworkSpec) -> Vec<PreparedLayer> {
-        let key = format!("{}::{}", spec.name, self.quick);
-        if !self.prepared.contains_key(&key) {
-            let shrunk = self.shrink(spec);
-            let layers = shrunk
-                .generate(&self.generator)
-                .expect("table-2 profiles are feasible");
-            let prepared = layers.iter().map(PreparedLayer::new).collect();
-            self.prepared.insert(key.clone(), prepared);
-        }
-        self.prepared[&key].clone()
+    pub fn prepared_network(&mut self, spec: &NetworkSpec) -> Vec<Arc<PreparedLayer>> {
+        let workloads: Vec<WorkloadSpec> = self
+            .shrink(spec)
+            .layers
+            .iter()
+            .map(|l| WorkloadSpec::from_layer(l).with_seed(self.generator.seed()))
+            .collect();
+        self.engine
+            .prepare(&workloads)
+            .expect("table-2 profiles are feasible")
     }
 
     /// Prepares one standalone layer workload.
@@ -129,41 +176,63 @@ impl Context {
         PreparedLayer::new(workload)
     }
 
+    /// Ensures network reports exist for every `(spec, design)` pair,
+    /// running all missing pairs as **one sharded campaign** on the engine.
+    pub fn prefetch_network_reports(&mut self, specs: &[NetworkSpec], designs: &[Design]) {
+        let mut campaign = Campaign::new("network-reports");
+        let mut wanted: Vec<((String, Design), std::ops::Range<usize>)> = Vec::new();
+        for spec in specs {
+            let shrunk = self.shrink(spec);
+            for &design in designs {
+                let key = (spec.name.clone(), design);
+                if self.reports.contains_key(&key) {
+                    continue;
+                }
+                let jobs = campaign.push_network(
+                    &shrunk,
+                    design.accelerator_spec(),
+                    self.generator.seed(),
+                );
+                wanted.push((key, jobs));
+            }
+        }
+        if campaign.is_empty() {
+            return;
+        }
+        let outcome = self.run_campaign(&campaign);
+        for (key, jobs) in wanted {
+            let layers = outcome.records[jobs]
+                .iter()
+                .map(|record| record.report.clone())
+                .collect();
+            let report = NetworkReport::new(&key.0, key.1.name(), layers);
+            self.reports.insert(key, report);
+        }
+    }
+
     /// Runs (once) a network on a design and returns the cached report.
     pub fn network_report(&mut self, spec: &NetworkSpec, design: Design) -> NetworkReport {
-        let key = (format!("{}::{}", spec.name, self.quick), design);
-        if let Some(r) = self.reports.get(&key) {
-            return r.clone();
-        }
-        let layers = self.prepared_network(spec);
-        let layers: Vec<PreparedLayer> = if design.uses_ft_workload() {
-            layers
-                .iter()
-                .map(|p| PreparedLayer::new(&p.workload.with_preprocessing()))
-                .collect()
-        } else {
-            layers
-        };
-        let report = run_design(design, &spec.name, &layers);
-        self.reports.insert(key, report.clone());
-        report
+        self.prefetch_network_reports(std::slice::from_ref(spec), &[design]);
+        self.reports[&(spec.name.clone(), design)].clone()
     }
 }
 
-/// Runs a layer sequence on a design.
+/// Runs a layer sequence on a design (fresh model, no caching) — the
+/// direct path kept for one-off comparisons; campaign execution goes
+/// through [`Context::run_campaign`].
 pub fn run_design(design: Design, network: &str, layers: &[PreparedLayer]) -> NetworkReport {
-    match design {
-        Design::SparTen => SparTenSnn::default().run_network(network, layers),
-        Design::Gospa => GospaSnn::default().run_network(network, layers),
-        Design::Gamma => GammaSnn::default().run_network(network, layers),
-        Design::Loas => Loas::default().run_network(network, layers),
-        Design::LoasFt => Loas::new(
-            LoasConfig::builder().discard_low_activity_outputs(true).build(),
-        )
-        .run_network(network, layers),
-        Design::Ptb => Ptb::default().run_network(network, layers),
-        Design::Stellar => Stellar::default().run_network(network, layers),
-    }
+    use loas_core::Accelerator;
+    let mut model = design.accelerator_spec().build();
+    let layers: Vec<PreparedLayer> = if design.uses_ft_workload() {
+        layers
+            .iter()
+            .map(|p| PreparedLayer::new(&p.workload.with_preprocessing()))
+            .collect()
+    } else {
+        layers.to_vec()
+    };
+    let reports = layers.iter().map(|l| model.run_layer(l)).collect();
+    NetworkReport::new(network, design.name(), reports)
 }
 
 #[cfg(test)]
@@ -178,8 +247,14 @@ mod tests {
         let first = ctx.prepared_network(&spec);
         assert_eq!(first.len(), 7);
         assert!(first.iter().all(|l| l.shape.m <= 16 && l.shape.n <= 32));
+        let generated = ctx.engine().cache_stats().generated;
         let again = ctx.prepared_network(&spec);
         assert_eq!(first.len(), again.len());
+        assert_eq!(
+            ctx.engine().cache_stats().generated,
+            generated,
+            "second preparation is served from the engine cache"
+        );
     }
 
     #[test]
@@ -196,5 +271,31 @@ mod tests {
         assert_eq!(Design::SparTen.name(), "SparTen-SNN");
         assert!(Design::LoasFt.uses_ft_workload());
         assert!(!Design::Loas.uses_ft_workload());
+    }
+
+    #[test]
+    fn prefetch_runs_missing_pairs_as_one_campaign() {
+        let mut ctx = Context::quick();
+        let specs = [networks::alexnet()];
+        ctx.prefetch_network_reports(&specs, &Design::SPMSPM_SET);
+        for design in Design::SPMSPM_SET {
+            let report = ctx.network_report(&specs[0], design);
+            assert_eq!(report.accelerator, design.name());
+            assert_eq!(report.layers.len(), 7);
+        }
+    }
+
+    #[test]
+    fn engine_and_direct_paths_agree() {
+        let mut ctx = Context::quick();
+        let spec = networks::alexnet();
+        let via_engine = ctx.network_report(&spec, Design::Gamma);
+        let prepared: Vec<PreparedLayer> = ctx
+            .prepared_network(&spec)
+            .iter()
+            .map(|arc| (**arc).clone())
+            .collect();
+        let direct = run_design(Design::Gamma, &spec.name, &prepared);
+        assert_eq!(via_engine.total_cycles(), direct.total_cycles());
     }
 }

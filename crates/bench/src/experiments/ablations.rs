@@ -2,36 +2,60 @@
 //! dataflow, the FTP-friendly inner-join, and the packed spike compression —
 //! plus a global-cache capacity sweep. These isolate each contribution on
 //! the paper's V-L8 layer.
+//!
+//! The configuration variants run as **one campaign** sharing a single
+//! cached preparation of V-L8; the compression ablation reads the same
+//! prepared layer straight from the engine cache.
 
 use crate::context::Context;
 use crate::report::{num, ratio, Table};
-use loas_core::{compress, Accelerator, AreaPowerModel, Loas, LoasConfig, PreparedLayer};
+use loas_core::{compress, AreaPowerModel, LoasConfig};
+use loas_engine::{AcceleratorSpec, Campaign};
 use loas_workloads::networks;
 
-fn v_l8(ctx: &Context) -> PreparedLayer {
-    let mut spec = networks::selected_layers()[1].clone();
-    if ctx.is_quick() {
-        spec.shape.m = spec.shape.m.min(16);
-        spec.shape.n = spec.shape.n.min(32);
-        spec.shape.k = spec.shape.k.min(512);
-    }
-    let workload = spec.generate(ctx.generator()).expect("V-L8 feasible");
-    PreparedLayer::new(&workload)
-}
+const CACHE_POINTS_KB: [usize; 4] = [64, 128, 256, 512];
 
 /// Runs all four ablations.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
-    let layer = v_l8(ctx);
+    let v_l8_spec = ctx.shrink_layer(&networks::selected_layers()[1]);
+    let workload = ctx.workload_spec(&v_l8_spec);
+
+    let mut campaign = Campaign::new("ablations");
+    let ftp_job = campaign.push_layer(workload.clone(), AcceleratorSpec::loas());
+    let seq_job = campaign.push_layer(
+        workload.clone(),
+        AcceleratorSpec::Loas(LoasConfig::builder().temporal_parallel(false).build()),
+    );
+    let two_fast_job = campaign.push_layer(
+        workload.clone(),
+        AcceleratorSpec::Loas(LoasConfig::builder().two_fast_prefix(true).build()),
+    );
+    let cache_jobs: Vec<usize> = CACHE_POINTS_KB
+        .iter()
+        .map(|&kb| {
+            campaign.push_layer(
+                workload.clone(),
+                AcceleratorSpec::Loas(LoasConfig::builder().cache_bytes(kb * 1024).build()),
+            )
+        })
+        .collect();
+    let outcome = ctx.run_campaign(&campaign);
+    let ftp = outcome.layer_report(ftp_job);
+    let seq = outcome.layer_report(seq_job);
+    let two_fast = outcome.layer_report(two_fast_job);
 
     // ---- Ablation 1: FTP vs sequential timesteps on identical hardware.
-    let ftp = Loas::default().run_layer(&layer);
-    let seq = Loas::new(LoasConfig::builder().temporal_parallel(false).build())
-        .run_layer(&layer);
     let mut dataflow = Table::new(
         "Ablation — FTP dataflow vs sequential timesteps (V-L8, same hardware & compression)",
-        vec!["variant", "cycles", "speedup", "accumulates", "laggy cycles"],
+        vec![
+            "variant",
+            "cycles",
+            "speedup",
+            "accumulates",
+            "laggy cycles",
+        ],
     );
-    for r in [&seq, &ftp] {
+    for r in [seq, ftp] {
         dataflow.push_row(
             r.accelerator.clone(),
             vec![
@@ -45,14 +69,18 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     dataflow.push_note("isolates goal (3) of Section III: parallelizing t removes the T x latency; the pseudo/correction accumulates are the price (extra accumulate ops, cheap adders)");
 
     // ---- Ablation 2: fast+laggy inner-join vs two fast prefix-sums.
-    let two_fast = Loas::new(LoasConfig::builder().two_fast_prefix(true).build())
-        .run_layer(&layer);
     let model = AreaPowerModel::loas_default();
     let laggy_table = model.tppe_table();
     let two_table = model.tppe_two_fast_table();
     let mut join = Table::new(
         "Ablation — FTP-friendly inner-join (fast+laggy) vs two fast prefix-sums (V-L8)",
-        vec!["variant", "cycles", "throughput penalty", "TPPE mW", "TPPE mm2"],
+        vec![
+            "variant",
+            "cycles",
+            "throughput penalty",
+            "TPPE mW",
+            "TPPE mm2",
+        ],
     );
     join.push_row(
         "fast + laggy (LoAS)",
@@ -78,7 +106,9 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         laggy_table.total_power_mw() / two_table.total_power_mw() * 100.0
     ));
 
-    // ---- Ablation 3: compression formats for the input spikes.
+    // ---- Ablation 3: compression formats for the input spikes (reads the
+    // same cached preparation the simulation jobs used).
+    let layer = ctx.prepared_layer(&v_l8_spec);
     let (_, comp) = compress::compress_tensor(&layer.workload.spikes);
     let mut formats = Table::new(
         "Ablation — input spike storage formats (V-L8)",
@@ -113,9 +143,8 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         "Ablation — global cache capacity (V-L8)",
         vec!["capacity", "cycles", "off-chip KB", "miss rate %"],
     );
-    for kb in [64usize, 128, 256, 512] {
-        let report = Loas::new(LoasConfig::builder().cache_bytes(kb * 1024).build())
-            .run_layer(&layer);
+    for (&kb, &job) in CACHE_POINTS_KB.iter().zip(&cache_jobs) {
+        let report = outcome.layer_report(job);
         cache.push_row(
             format!("{kb} KB"),
             vec![
@@ -172,5 +201,16 @@ mod tests {
             .map(|(_, c)| c[1].parse().unwrap())
             .collect();
         assert!(kb.windows(2).all(|w| w[1] <= w[0] * 1.001), "{kb:?}");
+    }
+
+    #[test]
+    fn all_variants_share_one_preparation() {
+        let mut ctx = Context::quick();
+        run(&mut ctx);
+        assert_eq!(
+            ctx.engine().cache_stats().generated,
+            1,
+            "seven config variants + the compression ablation share one V-L8 preparation"
+        );
     }
 }

@@ -32,7 +32,10 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         let mut row = Vec::new();
         let mut traffic = Vec::new();
         for timesteps in [1usize, 4] {
-            let shape_t = LayerShape { t: timesteps, ..shape };
+            let shape_t = LayerShape {
+                t: timesteps,
+                ..shape
+            };
             let workload = ctx
                 .generator()
                 .generate(&format!("{name}-T{timesteps}"), shape_t, &profile)
@@ -50,7 +53,11 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
             1.0
         };
         ratios.push(r);
-        row.push(if r.is_finite() { ratio(r) } else { "inf".to_owned() });
+        row.push(if r.is_finite() {
+            ratio(r)
+        } else {
+            "inf".to_owned()
+        });
         t.push_row(name, row);
     }
     t.push_note("paper: ~4x more psum traffic at T=4 than T=1 on average");

@@ -7,16 +7,32 @@ use crate::report::{ratio, Table};
 use loas_workloads::networks;
 
 /// Regenerates both Fig. 12 panels: speedup and energy efficiency,
-/// normalized to SparTen-SNN.
+/// normalized to SparTen-SNN. The full `networks x designs` grid is
+/// executed as one sharded campaign on the context's engine.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
     let specs = [networks::alexnet(), networks::vgg16(), networks::resnet19()];
+    ctx.prefetch_network_reports(&specs, &Design::SPMSPM_SET);
     let mut speedup = Table::new(
         "Fig. 12 (top) — speedup, normalized to SparTen-SNN",
-        vec!["network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN", "LoAS", "LoAS(FT)"],
+        vec![
+            "network",
+            "SparTen-SNN",
+            "GoSPA-SNN",
+            "Gamma-SNN",
+            "LoAS",
+            "LoAS(FT)",
+        ],
     );
     let mut energy = Table::new(
         "Fig. 12 (bottom) — energy efficiency, normalized to SparTen-SNN",
-        vec!["network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN", "LoAS", "LoAS(FT)"],
+        vec![
+            "network",
+            "SparTen-SNN",
+            "GoSPA-SNN",
+            "Gamma-SNN",
+            "LoAS",
+            "LoAS(FT)",
+        ],
     );
     for spec in &specs {
         let baseline = ctx.network_report(spec, Design::SparTen);
@@ -48,6 +64,15 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
 /// baseline, averaged over the three networks.
 pub fn mean_speedups(ctx: &mut Context) -> (f64, f64, f64) {
     let specs = [networks::alexnet(), networks::vgg16(), networks::resnet19()];
+    ctx.prefetch_network_reports(
+        &specs,
+        &[
+            Design::LoasFt,
+            Design::SparTen,
+            Design::Gospa,
+            Design::Gamma,
+        ],
+    );
     let mut vs = [0.0f64; 3];
     for spec in &specs {
         let ft = ctx.network_report(spec, Design::LoasFt);

@@ -9,7 +9,14 @@ use loas_workloads::networks;
 /// analysis table.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
     let specs = [networks::alexnet(), networks::vgg16(), networks::resnet19()];
-    let headers = vec!["network", "SparTen-SNN", "GoSPA-SNN", "Gamma-SNN", "LoAS", "LoAS(FT)"];
+    let headers = vec![
+        "network",
+        "SparTen-SNN",
+        "GoSPA-SNN",
+        "Gamma-SNN",
+        "LoAS",
+        "LoAS(FT)",
+    ];
     let mut offchip = Table::new("Fig. 13 (top) — off-chip traffic (KB)", headers.clone());
     let mut onchip = Table::new("Fig. 13 (bottom) — on-chip SRAM traffic (MB)", headers);
     let mut ratios = Table::new(

@@ -1,47 +1,66 @@
 //! Fig. 14 — off-chip traffic breakup (weight / input / psum / format /
 //! output) for the three selected layers, normalized to LoAS, plus the
 //! SRAM miss-rate comparison on the ResNet19 layer.
+//!
+//! The `3 layers x 4 designs` grid runs as one campaign on the context's
+//! engine: each layer is generated and prepared once and shared by all
+//! four design jobs.
 
-use crate::context::{run_design, Context, Design};
+use crate::context::{Context, Design};
 use crate::report::{num, Table};
-use loas_core::PreparedLayer;
+use loas_engine::Campaign;
 use loas_sim::TrafficClass;
 use loas_workloads::networks;
 
+const DESIGNS: [Design; 4] = [Design::SparTen, Design::Gospa, Design::Gamma, Design::Loas];
+
 /// Regenerates Fig. 14 on A-L4 / V-L8 / R-L19.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
+    let layer_specs: Vec<_> = networks::selected_layers()
+        .iter()
+        .take(3)
+        .map(|spec| ctx.shrink_layer(spec))
+        .collect();
+
+    // One campaign: every (layer, design) pair as a job. LoAS(FT) is not
+    // part of this figure, so no fine-tuned workload variants appear and
+    // each layer maps to exactly one cached preparation.
+    let mut campaign = Campaign::new("fig14");
+    let mut job_ids = Vec::new();
+    for layer_spec in &layer_specs {
+        let workload = ctx.workload_spec(layer_spec);
+        let per_design: Vec<usize> = DESIGNS
+            .iter()
+            .map(|design| campaign.push_layer(workload.clone(), design.accelerator_spec()))
+            .collect();
+        job_ids.push(per_design);
+    }
+    let outcome = ctx.run_campaign(&campaign);
+
     let mut tables = Vec::new();
     let mut miss = Table::new(
         "Fig. 14 (inset) — SRAM miss rate on R-L19 (normalized to LoAS)",
         vec!["design", "miss rate %", "vs LoAS"],
     );
-    for layer_spec in networks::selected_layers().iter().take(3) {
-        let mut layer_spec = layer_spec.clone();
-        if ctx.is_quick() {
-            layer_spec.shape.m = layer_spec.shape.m.clamp(1, 16);
-            layer_spec.shape.n = layer_spec.shape.n.min(32);
-            layer_spec.shape.k = layer_spec.shape.k.min(512);
-        }
-        let workload = layer_spec
-            .generate(ctx.generator())
-            .expect("selected-layer profiles feasible");
-        let prepared = PreparedLayer::new(&workload);
+    for (layer_spec, per_design) in layer_specs.iter().zip(&job_ids) {
         let mut t = Table::new(
             format!(
                 "Fig. 14 — off-chip traffic breakup on {} (normalized to LoAS total)",
                 layer_spec.name
             ),
-            vec!["design", "weight", "input", "psum", "output", "format", "total"],
+            vec![
+                "design", "weight", "input", "psum", "output", "format", "total",
+            ],
         );
-        let loas_total = run_design(Design::Loas, &layer_spec.name, std::slice::from_ref(&prepared))
-            .total_stats()
+        let loas_total = outcome
+            .layer_report(per_design[3])
+            .stats
             .dram
             .total()
             .max(1) as f64;
         let mut loas_miss = 0.0;
-        for design in [Design::SparTen, Design::Gospa, Design::Gamma, Design::Loas] {
-            let report = run_design(design, &layer_spec.name, std::slice::from_ref(&prepared));
-            let stats = report.total_stats();
+        for (design, &job) in DESIGNS.iter().zip(per_design) {
+            let stats = &outcome.layer_report(job).stats;
             let cells: Vec<String> = [
                 TrafficClass::Weight,
                 TrafficClass::Input,
@@ -59,10 +78,7 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
                 if matches!(design, Design::Loas) {
                     loas_miss = rate;
                 }
-                miss.push_row(
-                    design.name(),
-                    vec![format!("{rate:.3}"), String::new()],
-                );
+                miss.push_row(design.name(), vec![format!("{rate:.3}"), String::new()]);
             }
         }
         if layer_spec.name == "R-L19" {
@@ -111,5 +127,14 @@ mod tests {
                 assert!(get(row, psum_col) <= gospa_psum, "{}", t.title);
             }
         }
+    }
+
+    #[test]
+    fn layers_are_prepared_once_for_all_designs() {
+        let mut ctx = Context::quick();
+        run(&mut ctx);
+        let stats = ctx.engine().cache_stats();
+        assert_eq!(stats.generated, 3, "one preparation per selected layer");
+        assert!(stats.hits >= 12, "all 12 jobs resolve through the cache");
     }
 }

@@ -12,7 +12,15 @@ pub fn run(_ctx: &mut Context) -> Vec<Table> {
     let model = AreaPowerModel::loas_default();
     let mut a = Table::new(
         "Fig. 16(a) — TPPE scaling with timesteps",
-        vec!["T", "area mm2", "t-dep area share", "power mW", "t-dep power share", "area vs T=4", "power vs T=4"],
+        vec![
+            "T",
+            "area mm2",
+            "t-dep area share",
+            "power mW",
+            "t-dep power share",
+            "area vs T=4",
+            "power vs T=4",
+        ],
     );
     for t in [4usize, 8, 16] {
         a.push_row(
@@ -29,12 +37,9 @@ pub fn run(_ctx: &mut Context) -> Vec<Table> {
     }
     a.push_note("paper shares: area 12.5/22.2/36.3 %, power 8.4/15.5/26.8 %; growth T=16 vs T=4: 1.37x area, 1.25x power");
 
-    let temporal = TemporalScalingModel::fit(
-        &profiles::vgg16(),
-        4,
-        TemporalScalingModel::DEFAULT_ALPHA,
-    )
-    .expect("VGG16 profile fits the temporal mixture");
+    let temporal =
+        TemporalScalingModel::fit(&profiles::vgg16(), 4, TemporalScalingModel::DEFAULT_ALPHA)
+            .expect("VGG16 profile fits the temporal mixture");
     let mut b = Table::new(
         "Fig. 16(b) — VGG16 silent-neuron ratio vs T (normalized to T=4)",
         vec!["T", "origin", "origin (norm)", "FT", "FT (norm)"],

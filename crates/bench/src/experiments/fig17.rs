@@ -1,9 +1,15 @@
 //! Fig. 17 — scalability of LoAS across weight sparsity, timesteps, and
 //! layer size.
+//!
+//! All three panels share **one campaign**: the weight-sparsity sweep, the
+//! T=8 VGG16 network replay, and the layer-size comparison are jobs in a
+//! single sharded batch (the T=4 VGG16 reference rides the cross-experiment
+//! network-report cache).
 
 use crate::context::{Context, Design};
 use crate::report::{num, ratio, Table};
-use loas_core::{Accelerator, Loas, LoasConfig, PreparedLayer};
+use loas_core::LoasConfig;
+use loas_engine::{AcceleratorSpec, Campaign, WorkloadSpec};
 use loas_workloads::networks::{self, profiles};
 use loas_workloads::{LayerShape, SparsityProfile, TemporalScalingModel};
 
@@ -19,98 +25,115 @@ fn scaled_profile(base: &SparsityProfile, weight_pct: f64) -> SparsityProfile {
 
 /// Regenerates the three Fig. 17 sweeps.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
-    // ---- Panel 1: B sparsity {98.2 (High), 68.4 (Medium), 25 (Low)} on the
-    // VGG16 selected layer (V-L8 shape at network scale is representative
-    // and keeps the sweep tractable).
-    let mut sparsity_panel = Table::new(
-        "Fig. 17 (left) — LoAS vs weight sparsity of B (VGG16, normalized perf)",
-        vec!["B sparsity", "cycles", "performance"],
-    );
+    // The T=4 VGG16 reference (shared with Fig. 12/13 via the report cache).
+    let t4 = ctx
+        .network_report(&networks::vgg16(), Design::Loas)
+        .total_cycles()
+        .get() as f64;
+
+    let mut campaign = Campaign::new("fig17");
+
+    // ---- Panel 1 jobs: B sparsity {98.2 (High), 68.4 (Medium), 25 (Low)}
+    // on the VGG16 selected layer (V-L8 shape at network scale is
+    // representative and keeps the sweep tractable).
     let base_shape = if ctx.is_quick() {
         LayerShape::new(4, 16, 32, 512)
     } else {
         LayerShape::new(4, 16, 512, 2304) // V-L8
     };
-    let mut high_cycles = 0.0;
-    for (label, weight_pct) in [("High 98.2%", 98.2), ("Medium 68.4%", 68.4), ("Low 25.0%", 25.0)] {
-        let profile = scaled_profile(&profiles::vgg16(), weight_pct);
-        let workload = ctx
-            .generator()
-            .generate(&format!("fig17-b-{weight_pct}"), base_shape, &profile)
-            .expect("sweep profiles feasible");
-        let report = Loas::default().run_layer(&PreparedLayer::new(&workload));
-        let cycles = report.stats.cycles.get() as f64;
-        if high_cycles == 0.0 {
-            high_cycles = cycles;
-        }
-        sparsity_panel.push_row(
-            label,
-            vec![format!("{cycles:.0}"), num(high_cycles / cycles)],
-        );
-    }
-    sparsity_panel
-        .push_note("paper: scaling B sparsity from 98.2% to 25% cuts performance by ~88%");
+    let sparsity_points = [
+        ("High 98.2%", 98.2),
+        ("Medium 68.4%", 68.4),
+        ("Low 25.0%", 25.0),
+    ];
+    let sparsity_jobs: Vec<usize> = sparsity_points
+        .iter()
+        .map(|(_, weight_pct)| {
+            let workload = WorkloadSpec::new(
+                format!("fig17-b-{weight_pct}"),
+                base_shape,
+                scaled_profile(&profiles::vgg16(), *weight_pct),
+            )
+            .with_seed(ctx.generator().seed());
+            campaign.push_layer(workload, AcceleratorSpec::loas())
+        })
+        .collect();
 
-    // ---- Panel 2: timesteps 4 -> 8 on the VGG16 network.
-    let mut t_panel = Table::new(
-        "Fig. 17 (middle) — LoAS vs timesteps (VGG16)",
-        vec!["T", "cycles", "performance vs T=4"],
-    );
-    let t4 = ctx
-        .network_report(&networks::vgg16(), Design::Loas)
-        .total_cycles()
-        .get() as f64;
-    t_panel.push_row("T=4", vec![format!("{t4:.0}"), ratio(1.0)]);
-    let temporal = TemporalScalingModel::fit(
-        &profiles::vgg16(),
-        4,
-        TemporalScalingModel::DEFAULT_ALPHA,
-    )
-    .expect("VGG16 fits the temporal mixture");
+    // ---- Panel 2 jobs: the whole VGG16 network at T=8, profile
+    // extrapolated by the temporal mixture.
+    let temporal =
+        TemporalScalingModel::fit(&profiles::vgg16(), 4, TemporalScalingModel::DEFAULT_ALPHA)
+            .expect("VGG16 fits the temporal mixture");
     let profile8 = temporal.profile_at(8).expect("T=8 profile feasible");
     let mut spec8 = networks::vgg16();
+    spec8.name = "VGG16-T8".to_owned();
     for layer in &mut spec8.layers {
         layer.shape.t = 8;
         layer.profile = profile8;
         layer.name = format!("{}-T8", layer.name);
     }
-    if ctx.is_quick() {
-        for layer in &mut spec8.layers {
-            layer.shape.m = layer.shape.m.clamp(1, 16);
-            layer.shape.n = layer.shape.n.min(32);
-            layer.shape.k = layer.shape.k.min(512);
-        }
-    }
-    let layers8 = spec8
-        .generate(ctx.generator())
-        .expect("T=8 generation succeeds");
-    let prepared8: Vec<PreparedLayer> = layers8.iter().map(PreparedLayer::new).collect();
-    let mut loas8 = Loas::new(LoasConfig::builder().timesteps(8).build());
-    let t8 = loas8
-        .run_network("VGG16-T8", &prepared8)
-        .total_cycles()
-        .get() as f64;
-    t_panel.push_row("T=8", vec![format!("{t8:.0}"), ratio(t4 / t8)]);
-    t_panel.push_note("paper: doubling timesteps loses only ~14% performance (FTP scales)");
-
-    // ---- Panel 3: layer size — V-L8 vs the SpikeTransformer HFF layer.
-    let mut size_panel = Table::new(
-        "Fig. 17 (right) — LoAS vs layer size",
-        vec!["layer", "dense ops", "cycles", "cycles per M dense-ops"],
+    spec8.layers = spec8.layers.iter().map(|l| ctx.shrink_layer(l)).collect();
+    let t8_jobs = campaign.push_network(
+        &spec8,
+        AcceleratorSpec::Loas(LoasConfig::builder().timesteps(8).build()),
+        ctx.generator().seed(),
     );
+
+    // ---- Panel 3 jobs: layer size — V-L8 vs the SpikeTransformer HFF
+    // layer (quick mode keeps only V-L8; the transformer layer is huge).
     let selected = networks::selected_layers();
     let picks: Vec<&loas_workloads::networks::LayerSpec> = if ctx.is_quick() {
         vec![&selected[1]]
     } else {
         vec![&selected[1], &selected[3]] // V-L8 and T-HFF
     };
-    for spec in picks {
-        let workload = spec
-            .generate(ctx.generator())
-            .expect("selected layers feasible");
-        let report = Loas::default().run_layer(&PreparedLayer::new(&workload));
+    let size_jobs: Vec<(usize, &loas_workloads::networks::LayerSpec)> = picks
+        .into_iter()
+        .map(|spec| {
+            let workload = WorkloadSpec::from_layer(spec).with_seed(ctx.generator().seed());
+            (campaign.push_layer(workload, AcceleratorSpec::loas()), spec)
+        })
+        .collect();
+
+    let outcome = ctx.run_campaign(&campaign);
+
+    // ---- Panel 1 table.
+    let mut sparsity_panel = Table::new(
+        "Fig. 17 (left) — LoAS vs weight sparsity of B (VGG16, normalized perf)",
+        vec!["B sparsity", "cycles", "performance"],
+    );
+    let high_cycles = outcome.layer_report(sparsity_jobs[0]).stats.cycles.get() as f64;
+    for ((label, _), &job) in sparsity_points.iter().zip(&sparsity_jobs) {
+        let cycles = outcome.layer_report(job).stats.cycles.get() as f64;
+        sparsity_panel.push_row(
+            *label,
+            vec![format!("{cycles:.0}"), num(high_cycles / cycles)],
+        );
+    }
+    sparsity_panel
+        .push_note("paper: scaling B sparsity from 98.2% to 25% cuts performance by ~88%");
+
+    // ---- Panel 2 table.
+    let mut t_panel = Table::new(
+        "Fig. 17 (middle) — LoAS vs timesteps (VGG16)",
+        vec!["T", "cycles", "performance vs T=4"],
+    );
+    t_panel.push_row("T=4", vec![format!("{t4:.0}"), ratio(1.0)]);
+    let t8 = outcome.records[t8_jobs]
+        .iter()
+        .map(|record| record.report.stats.cycles.get())
+        .sum::<u64>() as f64;
+    t_panel.push_row("T=8", vec![format!("{t8:.0}"), ratio(t4 / t8)]);
+    t_panel.push_note("paper: doubling timesteps loses only ~14% performance (FTP scales)");
+
+    // ---- Panel 3 table.
+    let mut size_panel = Table::new(
+        "Fig. 17 (right) — LoAS vs layer size",
+        vec!["layer", "dense ops", "cycles", "cycles per M dense-ops"],
+    );
+    for (job, spec) in size_jobs {
         let ops = spec.shape.dense_ops() as f64;
-        let cycles = report.stats.cycles.get() as f64;
+        let cycles = outcome.layer_report(job).stats.cycles.get() as f64;
         size_panel.push_row(
             spec.name.clone(),
             vec![

@@ -61,7 +61,13 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
 
     let mut t = Table::new(
         "Fig. 18 — dual-sparse SNN (LoAS) vs dual-sparse ANN (VGG16)",
-        vec!["design", "energy eff. (vs LoAS=1)", "DRAM MB", "SRAM MB", "data movement %"],
+        vec![
+            "design",
+            "energy eff. (vs LoAS=1)",
+            "DRAM MB",
+            "SRAM MB",
+            "data movement %",
+        ],
     );
     let loas_e = snn_energy.total_pj();
     for (name, stats, energy) in [

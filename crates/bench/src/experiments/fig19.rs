@@ -12,13 +12,16 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     let loas = ctx.network_report(&spec, Design::Loas);
     let mut t = Table::new(
         "Fig. 19 — LoAS vs dense SNN accelerators (VGG16, T=4)",
-        vec!["design", "LoAS speedup", "LoAS energy gain", "DRAM vs LoAS", "SRAM vs LoAS"],
+        vec![
+            "design",
+            "LoAS speedup",
+            "LoAS energy gain",
+            "DRAM vs LoAS",
+            "SRAM vs LoAS",
+        ],
     );
     let loas_stats = loas.total_stats();
-    t.push_row(
-        "LoAS",
-        vec![ratio(1.0), ratio(1.0), ratio(1.0), ratio(1.0)],
-    );
+    t.push_row("LoAS", vec![ratio(1.0), ratio(1.0), ratio(1.0), ratio(1.0)]);
     for design in [Design::Ptb, Design::Stellar] {
         let report = ctx.network_report(&spec, design);
         let stats = report.total_stats();
@@ -45,9 +48,7 @@ mod tests {
         let mut ctx = Context::quick();
         let t = &run(&mut ctx)[0];
         assert!(t.is_consistent());
-        let speed = |row: usize| -> f64 {
-            t.rows[row].1[0].trim_end_matches('x').parse().unwrap()
-        };
+        let speed = |row: usize| -> f64 { t.rows[row].1[0].trim_end_matches('x').parse().unwrap() };
         let ptb = speed(1);
         let stellar = speed(2);
         assert!(ptb > 1.0, "LoAS faster than PTB: {ptb}");

@@ -21,11 +21,8 @@ pub mod fig12 {
     pub const FT_EXTRA_SPEEDUP: f64 = 1.20;
     /// Energy-efficiency gains (AlexNet, VGG16, ResNet19) over
     /// (SparTen-SNN, GoSPA-SNN, Gamma-SNN).
-    pub const ENERGY_GAINS: [[f64; 3]; 3] = [
-        [3.68, 3.09, 2.40],
-        [3.17, 1.50, 2.33],
-        [3.54, 1.34, 2.47],
-    ];
+    pub const ENERGY_GAINS: [[f64; 3]; 3] =
+        [[3.68, 3.09, 2.40], [3.17, 1.50, 2.33], [3.54, 1.34, 2.47]];
 }
 
 /// Fig. 13 — traffic ratios relative to LoAS (Section VI-A "Detailed

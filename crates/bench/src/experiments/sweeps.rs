@@ -3,27 +3,74 @@
 //! paper's discussion section gestures at (scaling LoAS up, and how far the
 //! FTP advantage carries as `T` grows toward the silent-neuron erosion of
 //! Fig. 16(b)).
+//!
+//! All three sweeps run as **one campaign**: the V-L8 workload is prepared
+//! once and shared by the nine configuration-variant jobs, and the
+//! timestep-sweep workloads ride in the same sharded batch.
 
 use crate::context::Context;
 use crate::report::{num, ratio, Table};
-use loas_core::{Accelerator, Loas, LoasConfig, PreparedLayer};
+use loas_core::LoasConfig;
+use loas_engine::{AcceleratorSpec, Campaign, WorkloadSpec};
 use loas_workloads::networks::{self, profiles};
 use loas_workloads::TemporalScalingModel;
 
-fn v_l8(ctx: &Context) -> PreparedLayer {
-    let mut spec = networks::selected_layers()[1].clone();
-    if ctx.is_quick() {
-        spec.shape.m = spec.shape.m.min(16);
-        spec.shape.n = spec.shape.n.min(32);
-        spec.shape.k = spec.shape.k.min(512);
-    }
-    let workload = spec.generate(ctx.generator()).expect("V-L8 feasible");
-    PreparedLayer::new(&workload)
-}
+const TPPE_POINTS: [usize; 4] = [4, 8, 16, 32];
+const BW_POINTS: [f64; 5] = [16.0, 32.0, 64.0, 128.0, 256.0];
+const T_POINTS: [usize; 4] = [2, 4, 8, 16];
 
 /// Runs the three sweeps.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
-    let layer = v_l8(ctx);
+    let v_l8_spec = ctx.shrink_layer(&networks::selected_layers()[1]);
+    let v_l8 = ctx.workload_spec(&v_l8_spec);
+
+    // ---- Build the whole sweep grid as one campaign.
+    let mut campaign = Campaign::new("sweeps");
+    let pe_jobs: Vec<usize> = TPPE_POINTS
+        .iter()
+        .map(|&tppes| {
+            campaign.push_layer(
+                v_l8.clone(),
+                AcceleratorSpec::Loas(LoasConfig::builder().tppes(tppes).build()),
+            )
+        })
+        .collect();
+    let bw_jobs: Vec<usize> = BW_POINTS
+        .iter()
+        .map(|&gbps| {
+            campaign.push_layer(
+                v_l8.clone(),
+                AcceleratorSpec::Loas(LoasConfig::builder().hbm_gbps(gbps).build()),
+            )
+        })
+        .collect();
+    // Timestep sweep: sparsity extrapolated by the temporal mixture
+    // (Fig. 16(b) model), fresh workload per T.
+    let temporal =
+        TemporalScalingModel::fit(&profiles::v_l8(), 4, TemporalScalingModel::DEFAULT_ALPHA)
+            .expect("V-L8 fits the temporal mixture");
+    let mut t_jobs: Vec<(usize, usize)> = Vec::new(); // (T, job id)
+    for t in T_POINTS {
+        let Ok(profile) = temporal.profile_at(t) else {
+            continue;
+        };
+        // Skip T points whose extrapolated profile the firing-model solve
+        // cannot realise (generation's only failure mode), as the
+        // pre-campaign loop did — a panic would abort the whole repro run.
+        if profile.firing_model(t).is_err() {
+            continue;
+        }
+        let mut shape = v_l8_spec.shape;
+        shape.t = t;
+        let workload = WorkloadSpec::new(format!("tsweep-{t}"), shape, profile)
+            .with_seed(ctx.generator().seed());
+        let job = campaign.push_layer(
+            workload,
+            AcceleratorSpec::Loas(LoasConfig::builder().timesteps(t).build()),
+        );
+        t_jobs.push((t, job));
+    }
+    let outcome = ctx.run_campaign(&campaign);
 
     // ---- Sweep 1: TPPE count (spatial scaling). V-L8 has M = 16 rows, so
     // scaling past the row count exposes the row-tile mapping limit the
@@ -32,11 +79,11 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         "Sweep — TPPE count (V-L8)",
         vec!["TPPEs", "cycles", "speedup vs 16", "note"],
     );
-    let base_cycles = Loas::default().run_layer(&layer).stats.cycles.get() as f64;
-    for tppes in [4usize, 8, 16, 32] {
-        let report = Loas::new(LoasConfig::builder().tppes(tppes).build()).run_layer(&layer);
-        let cycles = report.stats.cycles.get() as f64;
-        let note = if tppes > layer.shape.m {
+    // Table III's 16-TPPE point is the normalization base.
+    let base_cycles = outcome.layer_report(pe_jobs[2]).stats.cycles.get() as f64;
+    for (&tppes, &job) in TPPE_POINTS.iter().zip(&pe_jobs) {
+        let cycles = outcome.layer_report(job).stats.cycles.get() as f64;
+        let note = if tppes > v_l8_spec.shape.m {
             "rows < TPPEs: extra PEs idle"
         } else {
             ""
@@ -57,8 +104,8 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         "Sweep — HBM bandwidth (V-L8)",
         vec!["GB/s", "cycles", "stall cycles", "bound"],
     );
-    for gbps in [16.0f64, 32.0, 64.0, 128.0, 256.0] {
-        let report = Loas::new(LoasConfig::builder().hbm_gbps(gbps).build()).run_layer(&layer);
+    for (&gbps, &job) in BW_POINTS.iter().zip(&bw_jobs) {
+        let report = outcome.layer_report(job);
         let stalls = report.stats.stall_cycles.get();
         bw.push_row(
             format!("{gbps:.0}"),
@@ -69,36 +116,18 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
             ],
         );
     }
-    bw.push_note("Table III's 128 GB/s keeps V-L8 compute-bound; the knee shows where FTP would starve");
+    bw.push_note(
+        "Table III's 128 GB/s keeps V-L8 compute-bound; the knee shows where FTP would starve",
+    );
 
-    // ---- Sweep 3: timesteps 2..16 with sparsity extrapolated by the
-    // temporal mixture (Fig. 16(b) model), reporting cycles per timestep —
-    // the FTP scaling story end to end.
+    // ---- Sweep 3: timesteps 2..16, reporting cycles per timestep — the
+    // FTP scaling story end to end.
     let mut tsweep = Table::new(
         "Sweep — timesteps (V-L8 profile extrapolated)",
         vec!["T", "cycles", "cycles per timestep", "silent %"],
     );
-    let temporal = TemporalScalingModel::fit(
-        &profiles::v_l8(),
-        4,
-        TemporalScalingModel::DEFAULT_ALPHA,
-    )
-    .expect("V-L8 fits the temporal mixture");
-    for t in [2usize, 4, 8, 16] {
-        let Ok(profile) = temporal.profile_at(t) else {
-            continue;
-        };
-        let mut shape = layer.shape;
-        shape.t = t;
-        let Ok(workload) = ctx
-            .generator()
-            .generate(&format!("tsweep-{t}"), shape, &profile)
-        else {
-            continue;
-        };
-        let report = Loas::new(LoasConfig::builder().timesteps(t).build())
-            .run_layer(&PreparedLayer::new(&workload));
-        let cycles = report.stats.cycles.get();
+    for (t, job) in t_jobs {
+        let cycles = outcome.layer_report(job).stats.cycles.get();
         tsweep.push_row(
             format!("T={t}"),
             vec![
@@ -108,7 +137,9 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
             ],
         );
     }
-    tsweep.push_note("FTP amortizes timesteps: cycles grow sublinearly in T until silence erodes (Fig. 16(b))");
+    tsweep.push_note(
+        "FTP amortizes timesteps: cycles grow sublinearly in T until silence erodes (Fig. 16(b))",
+    );
     vec![pes, bw, tsweep]
 }
 
@@ -162,12 +193,26 @@ mod tests {
     fn low_bandwidth_becomes_memory_bound() {
         let mut ctx = Context::quick();
         let tables = run(&mut ctx);
-        let bounds: Vec<&str> = tables[1]
-            .rows
-            .iter()
-            .map(|(_, c)| c[2].as_str())
-            .collect();
+        let bounds: Vec<&str> = tables[1].rows.iter().map(|(_, c)| c[2].as_str()).collect();
         // The highest bandwidth point must be compute-bound.
         assert_eq!(*bounds.last().unwrap(), "compute");
+    }
+
+    #[test]
+    fn v_l8_is_prepared_once_for_all_config_variants() {
+        let mut ctx = Context::quick();
+        run(&mut ctx);
+        let stats = ctx.engine().cache_stats();
+        // 1x V-L8 + one workload per feasible timestep point.
+        assert!(
+            stats.generated <= 1 + T_POINTS.len(),
+            "generated {}",
+            stats.generated
+        );
+        assert!(
+            stats.hits >= TPPE_POINTS.len() + BW_POINTS.len(),
+            "config-variant jobs share the cached layer (hits {})",
+            stats.hits
+        );
     }
 }

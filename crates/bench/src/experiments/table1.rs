@@ -8,7 +8,13 @@ use crate::report::Table;
 pub fn run(_ctx: &mut Context) -> Vec<Table> {
     let mut t = Table::new(
         "Table I — comparison with prior SNN accelerators",
-        vec!["accelerator", "spike sparsity", "weight sparsity", "parallelism", "neuron"],
+        vec![
+            "accelerator",
+            "spike sparsity",
+            "weight sparsity",
+            "parallelism",
+            "neuron",
+        ],
     );
     for (name, spike, weight, par, neuron) in [
         ("SpinalFlow", "yes", "no", "S", "LIF"),

@@ -11,7 +11,13 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     let mut t = Table::new(
         "Table II — workload statistics (measured | paper)",
         vec![
-            "workload", "NL", "T", "origin%", "packed%", "packed+FT%", "weight%",
+            "workload",
+            "NL",
+            "T",
+            "origin%",
+            "packed%",
+            "packed+FT%",
+            "weight%",
         ],
     );
     let paper = super::reference::table2::ROWS;
@@ -99,7 +105,15 @@ mod tests {
             .generate(ctx.generator())
             .unwrap();
         let stats = v_l8.stats();
-        assert!((stats.spike_origin_pct - 88.1).abs() < 1.0, "{}", stats.spike_origin_pct);
-        assert!((stats.weight_pct - 96.8).abs() < 0.5, "{}", stats.weight_pct);
+        assert!(
+            (stats.spike_origin_pct - 88.1).abs() < 1.0,
+            "{}",
+            stats.spike_origin_pct
+        );
+        assert!(
+            (stats.weight_pct - 96.8).abs() < 0.5,
+            "{}",
+            stats.weight_pct
+        );
     }
 }

@@ -4,12 +4,16 @@
 //! Each module under [`experiments`] regenerates one table or figure
 //! (workload generation, parameter sweep, baselines, and row formatting);
 //! [`experiments::reference`] keeps the paper's published values alongside
-//! for `paper vs measured` comparison. The `repro` binary drives them:
+//! for `paper vs measured` comparison. The sweep-style experiments build
+//! [`loas_engine::Campaign`]s and execute them on the [`Context`]'s shared
+//! engine, so workload preparation is cached across experiments and
+//! simulation jobs shard across worker threads. The `repro` binary drives
+//! them:
 //!
 //! ```text
 //! cargo run --release -p loas-bench --bin repro -- all
 //! cargo run --release -p loas-bench --bin repro -- fig12 fig13
-//! cargo run --release -p loas-bench --bin repro -- --quick all
+//! cargo run --release -p loas-bench --bin repro -- --quick --workers 8 all
 //! ```
 
 #![warn(missing_docs)]

@@ -1,0 +1,205 @@
+//! Offline drop-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion`, `criterion_group!`/`criterion_main!`, benchmark
+//! groups, `Bencher::iter`, and `Bencher::iter_batched`.
+//!
+//! The build environment has no registry access, so the real criterion
+//! crate cannot be fetched. This shim runs each benchmark for the
+//! configured measurement window and prints median per-iteration wall time
+//! — no statistics engine, plots, or baselines — which is enough for
+//! `cargo bench` to exercise every benched code path and give ballpark
+//! numbers.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Batching policy for [`Bencher::iter_batched`] (ignored by the shim; all
+/// variants run the setup once per iteration, outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            measurement_time,
+        }
+    }
+
+    /// Times repeated calls of `routine` until the measurement window is
+    /// spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.measurement_time;
+        loop {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{name:<40} median {:>12.3} µs over {} iters",
+            median.as_secs_f64() * 1e6,
+            self.samples.len()
+        );
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample count (accepted for API compatibility;
+    /// the shim sizes runs by time, not sample count).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Sets the warm-up window (accepted for API compatibility; unused).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut bencher = Bencher::new(Duration::from_millis(5));
+        bencher.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(!bencher.samples.is_empty());
+    }
+}

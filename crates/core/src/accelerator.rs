@@ -261,8 +261,7 @@ impl Accelerator for Loas {
             for (n, fiber_b) in layer.b_fibers.iter().enumerate() {
                 // bm-B + weights broadcast: one cache read serves all TPPEs.
                 let b_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
-                let b_payload_bytes =
-                    (fiber_b.nnz() * self.config.weight_bits).div_ceil(8) as u64;
+                let b_payload_bytes = (fiber_b.nnz() * self.config.weight_bits).div_ceil(8) as u64;
                 let missed_bm = cache.access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
                 hbm.read(TrafficClass::Format, missed_bm * line);
                 cache.access_range(
@@ -270,8 +269,8 @@ impl Accelerator for Loas {
                     b_payload_bytes,
                     TrafficClass::Weight,
                 );
-                let b_load = tppe.b_load_cycles(fiber_b.nnz())
-                    + crossbar.broadcast_cycles(b_bm_bytes).get();
+                let b_load =
+                    tppe.b_load_cycles(fiber_b.nnz()) + crossbar.broadcast_cycles(b_bm_bytes).get();
 
                 // All TPPEs in the tile join against the same fiber-B; the
                 // tile advances at the slowest TPPE (synchronous broadcast).
@@ -289,10 +288,8 @@ impl Accelerator for Loas {
                     let mut fired: u64 = 0;
                     let mut sequential_cycles = 0u64;
                     for plane in planes {
-                        let matches_t = plane
-                            .row(m)
-                            .and_count(fiber_b.bitmask())
-                            .expect("equal K") as u64;
+                        let matches_t =
+                            plane.row(m).and_count(fiber_b.bitmask()).expect("equal K") as u64;
                         fired += matches_t;
                         sequential_cycles += metrics.chunks.max(matches_t) + 1; // + LIF step
                     }
@@ -309,15 +306,13 @@ impl Accelerator for Loas {
                         // accumulates directly (no pseudo/corrections, no
                         // laggy circuit involved).
                         stats.ops.accumulates += fired;
-                        stats.ops.fast_prefix_cycles +=
-                            shape.t as u64 * metrics.chunks + fired;
+                        stats.ops.fast_prefix_cycles += shape.t as u64 * metrics.chunks + fired;
                         worst = worst.max(sequential_cycles);
                     }
                     stats.ops.lif_updates += shape.t as u64;
 
                     if let Some(out) = verified_output.as_mut() {
-                        let outcome =
-                            tppe.process(&layer.a_fibers[m], fiber_b, layer.lif());
+                        let outcome = tppe.process(&layer.a_fibers[m], fiber_b, layer.lif());
                         debug_assert_eq!(outcome.join.matches, metrics.matches);
                         for t in 0..shape.t {
                             if outcome.plif.spikes.fires_at(t) {
@@ -332,6 +327,7 @@ impl Accelerator for Loas {
                 prev_b_load = b_load;
             }
             compute += prev_b_load.min(1); // drain
+
             // The last pair's laggy-correction tail is exposed once per
             // tile (hidden behind the next pair everywhere else). The
             // two-fast and sequential-T variants have no correction tail.
@@ -345,15 +341,16 @@ impl Accelerator for Loas {
             // a bitmask + pointer per row plus packed payload at the ~90%
             // output sparsity the paper reports (Section II-B) — so that
             // verification mode never perturbs the performance model.
-            let out_row_bits = (shape.n + POINTER_BITS) as u64 + (shape.n as u64 / 10) * shape.t as u64;
+            let out_row_bits =
+                (shape.n + POINTER_BITS) as u64 + (shape.n as u64 / 10) * shape.t as u64;
             for m in rows {
                 if let Some(out) = verified_output.as_ref() {
                     // Exercise the real compressor datapath (discard filter
                     // included) on the verified outputs.
                     let words: Vec<_> = (0..shape.n)
                         .map(|n| {
-                            let mut w = loas_sparse::PackedSpikes::silent(shape.t)
-                                .expect("t in range");
+                            let mut w =
+                                loas_sparse::PackedSpikes::silent(shape.t).expect("t in range");
                             for t in 0..shape.t {
                                 if out.get(m, n, t) {
                                     w.set(t, true);
@@ -448,7 +445,9 @@ mod tests {
         let ft_layer = PreparedLayer::new(&ft_workload);
         let base = Loas::default().run_layer(&layer);
         let ft = Loas::new(
-            LoasConfig::builder().discard_low_activity_outputs(true).build(),
+            LoasConfig::builder()
+                .discard_low_activity_outputs(true)
+                .build(),
         )
         .run_layer(&ft_layer);
         assert!(ft.stats.cycles <= base.stats.cycles);
@@ -458,7 +457,11 @@ mod tests {
     #[test]
     fn name_reflects_ft_mode() {
         assert_eq!(Loas::default().name(), "LoAS");
-        let ft = Loas::new(LoasConfig::builder().discard_low_activity_outputs(true).build());
+        let ft = Loas::new(
+            LoasConfig::builder()
+                .discard_low_activity_outputs(true)
+                .build(),
+        );
         assert_eq!(ft.name(), "LoAS-FT");
         let seq = Loas::new(LoasConfig::builder().temporal_parallel(false).build());
         assert_eq!(seq.name(), "LoAS-seqT");
@@ -472,15 +475,18 @@ mod tests {
         // processed sequentially — FTP's latency benefit in isolation.
         let layer = small_layer();
         let ftp = Loas::default().run_layer(&layer);
-        let seq = Loas::new(LoasConfig::builder().temporal_parallel(false).build())
-            .run_layer(&layer);
+        let seq =
+            Loas::new(LoasConfig::builder().temporal_parallel(false).build()).run_layer(&layer);
         assert!(
             seq.stats.cycles > ftp.stats.cycles,
             "sequential {} vs FTP {}",
             seq.stats.cycles.get(),
             ftp.stats.cycles.get()
         );
-        assert_eq!(seq.stats.ops.laggy_prefix_cycles, 0, "no corrections sequentially");
+        assert_eq!(
+            seq.stats.ops.laggy_prefix_cycles, 0,
+            "no corrections sequentially"
+        );
         // Same traffic: the ablation isolates latency, not data movement.
         assert_eq!(seq.stats.dram.total(), ftp.stats.dram.total());
     }
@@ -491,8 +497,7 @@ mod tests {
         // correction tail at roughly double the prefix-sum power.
         let layer = small_layer();
         let laggy = Loas::default().run_layer(&layer);
-        let two = Loas::new(LoasConfig::builder().two_fast_prefix(true).build())
-            .run_layer(&layer);
+        let two = Loas::new(LoasConfig::builder().two_fast_prefix(true).build()).run_layer(&layer);
         assert!(two.stats.cycles <= laggy.stats.cycles);
         assert_eq!(two.stats.stall_cycles.get(), 0);
         assert_eq!(two.stats.ops.laggy_prefix_cycles, 0);
@@ -500,8 +505,7 @@ mod tests {
         // The paper's claim: "almost no throughput penalty". On this tiny
         // test layer the per-tile correction tail is proportionally large;
         // on paper-sized layers the ablation harness measures <1%.
-        let penalty =
-            laggy.stats.cycles.get() as f64 / two.stats.cycles.get().max(1) as f64;
+        let penalty = laggy.stats.cycles.get() as f64 / two.stats.cycles.get().max(1) as f64;
         assert!(penalty < 1.15, "throughput penalty {penalty}");
     }
 }

@@ -120,7 +120,12 @@ impl AccumulatorBank {
 
     /// Total width overflows across all accumulators.
     pub fn overflows(&self) -> u64 {
-        self.pseudo.overflows() + self.corrections.iter().map(Accumulator::overflows).sum::<u64>()
+        self.pseudo.overflows()
+            + self
+                .corrections
+                .iter()
+                .map(Accumulator::overflows)
+                .sum::<u64>()
     }
 
     /// Resets all values for the next output neuron.

@@ -100,9 +100,21 @@ impl AreaPowerModel {
     /// The Table IV (right) TPPE component table at `T = 4`.
     pub fn tppe_table(&self) -> ComponentTable {
         [
-            Component::new("Accumulators", tppe_t4::ACCUMULATORS_AREA, tppe_t4::ACCUMULATORS_POWER),
-            Component::new("Fast Prefix", tppe_t4::FAST_PREFIX_AREA, tppe_t4::FAST_PREFIX_POWER),
-            Component::new("Laggy Prefix", tppe_t4::LAGGY_PREFIX_AREA, tppe_t4::LAGGY_PREFIX_POWER),
+            Component::new(
+                "Accumulators",
+                tppe_t4::ACCUMULATORS_AREA,
+                tppe_t4::ACCUMULATORS_POWER,
+            ),
+            Component::new(
+                "Fast Prefix",
+                tppe_t4::FAST_PREFIX_AREA,
+                tppe_t4::FAST_PREFIX_POWER,
+            ),
+            Component::new(
+                "Laggy Prefix",
+                tppe_t4::LAGGY_PREFIX_AREA,
+                tppe_t4::LAGGY_PREFIX_POWER,
+            ),
             Component::new("Others", tppe_t4::OTHERS_AREA, tppe_t4::OTHERS_POWER),
         ]
         .into_iter()
@@ -115,8 +127,16 @@ impl AreaPowerModel {
     /// 10, and the fast circuit dominates area and power).
     pub fn tppe_two_fast_table(&self) -> ComponentTable {
         [
-            Component::new("Accumulators", tppe_t4::ACCUMULATORS_AREA, tppe_t4::ACCUMULATORS_POWER),
-            Component::new("Fast Prefix", tppe_t4::FAST_PREFIX_AREA, tppe_t4::FAST_PREFIX_POWER),
+            Component::new(
+                "Accumulators",
+                tppe_t4::ACCUMULATORS_AREA,
+                tppe_t4::ACCUMULATORS_POWER,
+            ),
+            Component::new(
+                "Fast Prefix",
+                tppe_t4::FAST_PREFIX_AREA,
+                tppe_t4::FAST_PREFIX_POWER,
+            ),
             Component::new(
                 "Fast Prefix #2",
                 tppe_t4::FAST_PREFIX_AREA,
@@ -141,7 +161,11 @@ impl AreaPowerModel {
                 system::PLIFS_AREA,
                 system::PLIFS_POWER,
             ),
-            Component::new("Global cache", system::GLOBAL_CACHE_AREA, system::GLOBAL_CACHE_POWER),
+            Component::new(
+                "Global cache",
+                system::GLOBAL_CACHE_AREA,
+                system::GLOBAL_CACHE_POWER,
+            ),
             Component::new("Others", system::OTHERS_AREA, system::OTHERS_POWER),
         ]
         .into_iter()

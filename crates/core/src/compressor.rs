@@ -100,12 +100,17 @@ mod tests {
         assert_eq!(row.discarded, 0);
         // 3 words * 4 bits + 4-bit mask + 32-bit pointer.
         assert_eq!(row.bits_written, 12 + 4 + 32);
-        assert_eq!(row.cycles, 8, "one group through the inverted laggy circuit");
+        assert_eq!(
+            row.cycles, 8,
+            "one group through the inverted laggy circuit"
+        );
     }
 
     #[test]
     fn discarding_drops_single_fires() {
-        let config = LoasConfig::builder().discard_low_activity_outputs(true).build();
+        let config = LoasConfig::builder()
+            .discard_low_activity_outputs(true)
+            .build();
         let c = Compressor::new(&config);
         let row = c.compress_row(&words());
         assert_eq!(row.discarded, 1);

@@ -170,10 +170,7 @@ pub fn analyze(variant: DataflowVariant, t_count: usize) -> DataflowCosts {
     let (a_refetch, b_refetch) = if variant.t_placement.is_innermost() {
         (1.0, 1.0)
     } else {
-        (
-            if a_below { t } else { 1.0 },
-            if b_below { t } else { 1.0 },
-        )
+        (if a_below { t } else { 1.0 }, if b_below { t } else { 1.0 })
     };
     // Psums: IP reduces each output fully before moving on (output reuse),
     // so the t dimension adds no live psums when innermost. OP/Gust keep
@@ -240,7 +237,13 @@ mod tests {
                     },
                     4,
                 );
-                assert_eq!(costs.latency_factor, 4.0, "{} t@{}", order.name(), placement.0);
+                assert_eq!(
+                    costs.latency_factor,
+                    4.0,
+                    "{} t@{}",
+                    order.name(),
+                    placement.0
+                );
             }
         }
     }
@@ -290,7 +293,10 @@ mod tests {
         spikes.set(1, 1, 3, true);
         let lif = LifParams::new(1, 1);
         let ftp = ftp_execute(&spikes, &weights, lif).unwrap();
-        let golden = SnnLayer::new(weights, lif).unwrap().forward(&spikes).unwrap();
+        let golden = SnnLayer::new(weights, lif)
+            .unwrap()
+            .forward(&spikes)
+            .unwrap();
         assert_eq!(ftp.spikes, golden.spikes);
         assert_eq!(ftp.membranes, golden.membranes);
     }

@@ -118,6 +118,23 @@ pub trait Accelerator {
     }
 }
 
+/// Boxed accelerators forward to their inner model, so heterogeneous
+/// fleets (`Vec<Box<dyn Accelerator + Send>>`) can be used anywhere a
+/// concrete model is expected.
+impl<A: Accelerator + ?Sized> Accelerator for Box<A> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
+        (**self).run_layer(layer)
+    }
+
+    fn run_network(&mut self, network: &str, layers: &[PreparedLayer]) -> NetworkReport {
+        (**self).run_network(network, layers)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,12 +46,7 @@ impl PreparedLayer {
             .collect();
         let mut b_row_nnz = vec![0usize; shape.k];
         for (ki, nnz) in b_row_nnz.iter_mut().enumerate() {
-            *nnz = workload
-                .weights
-                .row(ki)
-                .iter()
-                .filter(|&&w| w != 0)
-                .count();
+            *nnz = workload.weights.row(ki).iter().filter(|&&w| w != 0).count();
         }
         PreparedLayer {
             name: workload.name.clone(),
@@ -169,7 +164,11 @@ mod tests {
     fn nnz_consistency() {
         let p = prepared();
         let total_row_nnz: usize = p.b_row_nnz.iter().sum();
-        assert_eq!(total_row_nnz, p.b_nnz(), "row-wise and column-wise B nnz agree");
+        assert_eq!(
+            total_row_nnz,
+            p.b_nnz(),
+            "row-wise and column-wise B nnz agree"
+        );
         let csr_nnz: usize = p.a_csr_per_t.iter().map(|c| c.nnz()).sum();
         assert_eq!(csr_nnz, p.spike_count());
     }
@@ -181,7 +180,10 @@ mod tests {
         assert_eq!(a_payload, (p.a_nnz() * 4) as u64);
         assert!(a_format >= (p.shape.m * p.shape.k) as u64);
         // LoAS packed A must be far smaller than dense A at this sparsity.
-        assert!(a_payload + a_format < p.a_dense_bits() + (p.shape.m as u64 * POINTER_BITS as u64) + p.a_dense_bits());
+        assert!(
+            a_payload + a_format
+                < p.a_dense_bits() + (p.shape.m as u64 * POINTER_BITS as u64) + p.a_dense_bits()
+        );
         let (_, csr_format) = p.a_csr_bits();
         assert!(csr_format > 0);
     }

@@ -76,7 +76,12 @@ impl Tppe {
     /// # Panics
     ///
     /// Panics when fiber lengths disagree.
-    pub fn process(&self, fiber_a: &SpikeFiber, fiber_b: &WeightFiber, lif: LifParams) -> TppeOutcome {
+    pub fn process(
+        &self,
+        fiber_a: &SpikeFiber,
+        fiber_b: &WeightFiber,
+        lif: LifParams,
+    ) -> TppeOutcome {
         let join = self.join_unit.join(fiber_a, fiber_b);
         let plif = ParallelLif::new(lif, self.timesteps).fire(&join.sums);
         let b_load_cycles = self.b_load_cycles(fiber_b.nnz());

@@ -1,0 +1,184 @@
+//! The headline campaign: the paper's full accelerator fleet (SparTen-SNN,
+//! GoSPA-SNN, Gamma-SNN, LoAS, LoAS-FT, PTB, Stellar) over the four
+//! selected layers (A-L4, V-L8, R-L19, T-HFF), executed as one sharded
+//! campaign.
+//!
+//! ```text
+//! cargo run --release -p loas-engine --bin campaign -- \
+//!     [--workers N] [--quick] [--jsonl <path>] [--no-serial] [--seed S]
+//! ```
+//!
+//! By default the campaign runs twice — once on a single worker, once on
+//! the full pool — verifies the two report streams are byte-identical, and
+//! reports the measured wall-clock speedup in the campaign summary.
+
+use loas_engine::{default_workers, AcceleratorSpec, Campaign, Engine, WorkloadSpec, DEFAULT_SEED};
+use loas_workloads::networks;
+
+const USAGE: &str =
+    "usage: campaign [--workers N] [--quick] [--jsonl <path>] [--no-serial] [--seed S]";
+
+struct Options {
+    workers: usize,
+    quick: bool,
+    jsonl: Option<std::path::PathBuf>,
+    compare_serial: bool,
+    seed: u64,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        workers: default_workers(),
+        quick: false,
+        jsonl: None,
+        compare_serial: true,
+        seed: DEFAULT_SEED,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                options.workers = value
+                    .parse()
+                    .map_err(|_| format!("bad --workers value `{value}`"))?;
+            }
+            "--quick" => options.quick = true,
+            "--jsonl" => {
+                let value = args.next().ok_or("--jsonl needs a path")?;
+                options.jsonl = Some(value.into());
+            }
+            "--no-serial" => options.compare_serial = false,
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad --seed value `{value}`"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn headline_campaign(options: &Options) -> Campaign {
+    let mut campaign = Campaign::new(if options.quick {
+        "headline (quick)"
+    } else {
+        "headline"
+    });
+    let layers: Vec<WorkloadSpec> = networks::selected_layers()
+        .iter()
+        .map(|layer| {
+            let layer = if options.quick {
+                layer.shrunk_for_quick()
+            } else {
+                layer.clone()
+            };
+            WorkloadSpec::from_layer(&layer).with_seed(options.seed)
+        })
+        .collect();
+    campaign.push_product(&layers, &AcceleratorSpec::headline_fleet());
+    campaign
+}
+
+fn comparison_table(outcome: &loas_engine::CampaignOutcome) {
+    // Rows = layers, columns = accelerators, cells = speedup over the
+    // SparTen-SNN job on the same layer (the Fig. 12-style normalization).
+    let fleet: Vec<String> = AcceleratorSpec::headline_fleet()
+        .iter()
+        .map(AcceleratorSpec::name)
+        .collect();
+    let per_layer = fleet.len();
+    println!("\nspeedup over SparTen-SNN (per selected layer):");
+    print!("{:<10}", "layer");
+    for name in &fleet {
+        print!("{name:>14}");
+    }
+    println!();
+    for chunk in outcome.records.chunks(per_layer) {
+        let baseline = &chunk[0].report; // SparTen is first in the fleet
+        print!("{:<10}", chunk[0].report.workload);
+        for record in chunk {
+            print!("{:>13.2}x", record.report.speedup_over(baseline));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let campaign = headline_campaign(&options);
+    let fleet_size = AcceleratorSpec::headline_fleet().len();
+    println!(
+        "headline campaign: {} jobs ({} layers x {} accelerators){}",
+        campaign.len(),
+        campaign.len() / fleet_size,
+        fleet_size,
+        if options.quick { " [quick shapes]" } else { "" }
+    );
+
+    let serial = if options.compare_serial {
+        println!("reference pass: 1 worker...");
+        let engine = Engine::new(1);
+        Some(engine.run(&campaign).unwrap_or_else(|error| {
+            eprintln!("campaign failed: {error}");
+            std::process::exit(1);
+        }))
+    } else {
+        None
+    };
+
+    println!("parallel pass: {} workers...", options.workers);
+    let engine = Engine::new(options.workers);
+    let mut streamed = 0usize;
+    let outcome = engine
+        .run_streaming(&campaign, |record| {
+            streamed += 1;
+            eprintln!("  done [{:>3}] {}", record.job, record.label);
+        })
+        .unwrap_or_else(|error| {
+            eprintln!("campaign failed: {error}");
+            std::process::exit(1);
+        });
+    assert_eq!(streamed, campaign.len());
+
+    print!("\n{}", outcome.summary_table());
+    if let Some(serial) = &serial {
+        let identical = serial.jsonl() == outcome.jsonl();
+        println!(
+            "single-worker vs {}-worker reports byte-identical: {}",
+            options.workers, identical
+        );
+        println!(
+            "measured wall-clock speedup: {:.2}x ({:.3}s -> {:.3}s)",
+            serial.wall_seconds / outcome.wall_seconds.max(1e-9),
+            serial.wall_seconds,
+            outcome.wall_seconds
+        );
+        if !identical {
+            eprintln!("DETERMINISM VIOLATION: report streams differ");
+            std::process::exit(1);
+        }
+    }
+
+    comparison_table(&outcome);
+
+    if let Some(path) = &options.jsonl {
+        std::fs::write(path, outcome.jsonl()).unwrap_or_else(|error| {
+            eprintln!("cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "\nwrote {} records to {}",
+            outcome.records.len(),
+            path.display()
+        );
+    }
+}

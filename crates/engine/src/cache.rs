@@ -1,0 +1,113 @@
+//! The content-keyed prepared-layer cache shared by all jobs of a campaign
+//! (and across campaigns run on the same engine).
+//!
+//! Generating a workload and building its compressed views
+//! ([`PreparedLayer`]) dominates campaign setup cost, and sweep-style
+//! experiments reuse the same layer under many accelerator/configuration
+//! variants. The cache guarantees each unique [`WorkloadKey`] is prepared
+//! exactly once; everything downstream shares the `Arc`.
+
+use crate::spec::WorkloadKey;
+use loas_core::PreparedLayer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters describing cache effectiveness over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreparedCacheStats {
+    /// Workloads generated and prepared (one per unique key, ever).
+    pub generated: usize,
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A thread-safe, content-keyed store of prepared layers.
+#[derive(Debug, Default)]
+pub struct PreparedCache {
+    entries: Mutex<HashMap<WorkloadKey, Arc<PreparedLayer>>>,
+    generated: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl PreparedCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PreparedCache::default()
+    }
+
+    /// Looks a key up, counting a hit on success.
+    pub fn get(&self, key: &WorkloadKey) -> Option<Arc<PreparedLayer>> {
+        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Whether a key is resident (no hit is counted).
+    pub fn contains(&self, key: &WorkloadKey) -> bool {
+        self.entries.lock().expect("cache lock").contains_key(key)
+    }
+
+    /// Looks a key up without counting a hit (for internal derivations; job
+    /// resolutions use [`PreparedCache::get`]).
+    pub fn peek(&self, key: &WorkloadKey) -> Option<Arc<PreparedLayer>> {
+        self.entries.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Inserts a freshly generated layer, returning the resident `Arc`. The
+    /// generation counter only advances when the key was actually vacant,
+    /// so concurrent campaigns racing on one key (each campaign's own
+    /// prepare phase claims every key at most once) cannot overcount.
+    pub fn insert(&self, key: WorkloadKey, layer: PreparedLayer) -> Arc<PreparedLayer> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        match entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => entry.get().clone(),
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                self.generated.fetch_add(1, Ordering::Relaxed);
+                entry.insert(Arc::new(layer)).clone()
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PreparedCacheStats {
+        PreparedCacheStats {
+            generated: self.generated.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use loas_workloads::{LayerShape, SparsityProfile};
+
+    fn spec(name: &str) -> WorkloadSpec {
+        WorkloadSpec::new(
+            name,
+            LayerShape::new(4, 4, 8, 64),
+            SparsityProfile::from_percentages(82.3, 74.1, 79.6, 98.2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn hit_and_generation_accounting() {
+        let cache = PreparedCache::new();
+        let a = spec("a");
+        assert!(cache.get(&a.key()).is_none());
+        cache.insert(a.key(), a.prepare().unwrap());
+        assert!(cache.get(&a.key()).is_some());
+        assert!(cache.get(&a.key()).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.generated, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+    }
+}

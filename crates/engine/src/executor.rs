@@ -1,0 +1,365 @@
+//! The campaign executor: a shard-per-worker thread pool over `std::thread`
+//! and channels, with deterministic ordered result streaming.
+//!
+//! Scheduling is dynamic (workers claim the next job off a shared atomic
+//! counter, so long jobs never serialize behind short ones) but results are
+//! emitted to the sink in job-submission order, which makes campaign output
+//! — including the serialized report stream — byte-identical for any worker
+//! count.
+
+use crate::cache::{PreparedCache, PreparedCacheStats};
+use crate::report::{CampaignOutcome, JobRecord};
+use crate::spec::{Campaign, WorkloadSpec};
+use loas_core::{LayerReport, PreparedLayer};
+use loas_workloads::WorkloadError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Errors surfaced while executing a campaign.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A workload spec could not be generated (infeasible profile).
+    Workload {
+        /// Name of the failing workload spec.
+        workload: String,
+        /// The underlying generator error.
+        source: WorkloadError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Workload { workload, source } => {
+                write!(f, "cannot generate workload `{workload}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Workload { source, .. } => Some(source),
+        }
+    }
+}
+
+/// The deterministic multi-threaded campaign runner.
+///
+/// An engine owns a [`PreparedCache`] that persists across campaigns, so a
+/// sequence of campaigns sharing workloads (the typical figure-regeneration
+/// session) generates each unique workload once.
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    cache: PreparedCache,
+}
+
+impl Default for Engine {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        Engine::new(default_workers())
+    }
+}
+
+/// The number of worker threads [`Engine::default`] uses (one per available
+/// hardware thread).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Engine {
+    /// An engine with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Engine {
+            workers: workers.max(1),
+            cache: PreparedCache::new(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Reconfigures the worker count (clamped to at least 1). The cache is
+    /// unaffected.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Lifetime cache counters.
+    pub fn cache_stats(&self) -> PreparedCacheStats {
+        self.cache.stats()
+    }
+
+    /// Prepares (generating in parallel where missing) the given workload
+    /// specs and returns their shared layers in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by spec order) generation failure.
+    pub fn prepare(&self, specs: &[WorkloadSpec]) -> Result<Vec<Arc<PreparedLayer>>, EngineError> {
+        self.prepare_missing(specs)?;
+        Ok(specs
+            .iter()
+            .map(|spec| self.cache.get(&spec.key()).expect("just prepared"))
+            .collect())
+    }
+
+    /// Generates every spec whose key is not yet resident, each exactly
+    /// once, sharded across the worker pool. Runs in two waves: plain
+    /// workloads generate first (plus the bases of any missing fine-tuned
+    /// specs), then fine-tuned variants derive from their cached base by
+    /// masking — so a campaign running both LoAS and LoAS(FT) on a layer
+    /// pays for one generation, not two.
+    fn prepare_missing(&self, specs: &[WorkloadSpec]) -> Result<(), EngineError> {
+        let mut seen = std::collections::HashSet::new();
+        let missing: Vec<&WorkloadSpec> = specs
+            .iter()
+            .filter(|spec| seen.insert(spec.key()) && !self.cache.contains(&spec.key()))
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let mut bases: Vec<WorkloadSpec> = Vec::new();
+        let mut derived: Vec<&WorkloadSpec> = Vec::new();
+        for spec in missing {
+            if spec.fine_tuned {
+                let base = spec.base();
+                if !self.cache.contains(&base.key())
+                    && !bases.iter().any(|b: &WorkloadSpec| b.key() == base.key())
+                {
+                    bases.push(base);
+                }
+                derived.push(spec);
+            } else {
+                bases.push(spec.clone());
+            }
+        }
+        self.generate_wave(&bases, |spec| spec.prepare())?;
+        self.generate_wave(&derived, |spec| {
+            let base = self
+                .cache
+                .peek(&spec.base().key())
+                .expect("base generated in the first wave");
+            Ok(spec.prepare_from_base(&base))
+        })
+    }
+
+    /// Shards one wave of workload preparation across the worker pool,
+    /// inserting results into the cache and surfacing the first (by spec
+    /// order) failure.
+    fn generate_wave<S: std::borrow::Borrow<WorkloadSpec> + Sync>(
+        &self,
+        wave: &[S],
+        prepare: impl Fn(&WorkloadSpec) -> Result<PreparedLayer, loas_workloads::WorkloadError> + Sync,
+    ) -> Result<(), EngineError> {
+        if wave.is_empty() {
+            return Ok(());
+        }
+        let next = AtomicUsize::new(0);
+        let failures: Mutex<Vec<(usize, EngineError)>> = Mutex::new(Vec::new());
+        let workers = self.workers.min(wave.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = wave.get(index).map(|s| s.borrow()) else {
+                        break;
+                    };
+                    match prepare(spec) {
+                        Ok(layer) => {
+                            self.cache.insert(spec.key(), layer);
+                        }
+                        Err(source) => failures.lock().expect("failure lock").push((
+                            index,
+                            EngineError::Workload {
+                                workload: spec.name.clone(),
+                                source,
+                            },
+                        )),
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().expect("failure lock");
+        failures.sort_by_key(|(index, _)| *index);
+        match failures.into_iter().next() {
+            Some((_, error)) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs a campaign to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first workload-generation failure; no jobs run in that
+    /// case.
+    pub fn run(&self, campaign: &Campaign) -> Result<CampaignOutcome, EngineError> {
+        self.run_streaming(campaign, |_| {})
+    }
+
+    /// Runs a campaign, invoking `sink` with each completed [`JobRecord`]
+    /// **in job-submission order** as soon as that prefix of the campaign
+    /// has finished. This is the streaming serialization hook: writing
+    /// `record.to_json()` lines from the sink yields an incrementally
+    /// flushed yet fully deterministic report stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first workload-generation failure; no jobs run in that
+    /// case.
+    pub fn run_streaming(
+        &self,
+        campaign: &Campaign,
+        mut sink: impl FnMut(&JobRecord),
+    ) -> Result<CampaignOutcome, EngineError> {
+        let start = Instant::now();
+        let stats_before = self.cache.stats();
+        let unique = campaign.unique_workloads();
+        // A job resolution counts as a cache hit only when its key did not
+        // have to be generated for this campaign: jobs beyond the first use
+        // of a fresh key, plus every use of keys cached by earlier
+        // campaigns. (Each fresh key is "missed" exactly once however many
+        // jobs share it.)
+        let fresh_keys = unique
+            .iter()
+            .filter(|spec| !self.cache.contains(&spec.key()))
+            .count();
+        self.prepare_missing(&unique)?;
+        let prepare_seconds = start.elapsed().as_secs_f64();
+
+        let jobs = campaign.jobs();
+        let layers: Vec<Arc<PreparedLayer>> = jobs
+            .iter()
+            .map(|job| self.cache.get(&job.workload.key()).expect("prepared above"))
+            .collect();
+
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel::<(usize, LayerReport, f64)>();
+        let workers = self.workers.min(jobs.len().max(1));
+        let records = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let next = &next;
+                let layers = &layers;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else {
+                        break;
+                    };
+                    let job_start = Instant::now();
+                    let mut model = job.accelerator.build();
+                    let report = model.run_layer(&layers[index]);
+                    if sender
+                        .send((index, report, job_start.elapsed().as_secs_f64()))
+                        .is_err()
+                    {
+                        break;
+                    }
+                });
+            }
+            drop(sender);
+
+            // Ordered streaming: hold out-of-order completions back until
+            // their predecessors arrive, then emit the ready prefix.
+            let mut pending: BTreeMap<usize, JobRecord> = BTreeMap::new();
+            let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+            for (index, report, sim_seconds) in receiver {
+                let job = &jobs[index];
+                pending.insert(
+                    index,
+                    JobRecord {
+                        job: index,
+                        label: job.label.clone(),
+                        network: job.network.clone(),
+                        layer_index: job.layer_index,
+                        report,
+                        sim_seconds,
+                    },
+                );
+                while let Some(record) = pending.remove(&records.len()) {
+                    sink(&record);
+                    records.push(record);
+                }
+            }
+            records
+        });
+        debug_assert_eq!(records.len(), jobs.len());
+
+        let stats_after = self.cache.stats();
+        Ok(CampaignOutcome {
+            campaign: campaign.name.clone(),
+            workers: self.workers,
+            records,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            prepare_seconds,
+            workloads_generated: stats_after.generated - stats_before.generated,
+            cache_hits: jobs.len().saturating_sub(fresh_keys),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AcceleratorSpec;
+    use loas_workloads::{LayerShape, SparsityProfile};
+
+    fn small(name: &str) -> WorkloadSpec {
+        WorkloadSpec::new(
+            name,
+            LayerShape::new(4, 6, 8, 96),
+            SparsityProfile::from_percentages(82.3, 74.1, 79.6, 98.2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn streaming_sink_sees_jobs_in_submission_order() {
+        let engine = Engine::new(4);
+        let mut campaign = Campaign::new("order");
+        for accelerator in AcceleratorSpec::headline_fleet() {
+            campaign.push_layer(small("order-w"), accelerator);
+        }
+        let mut seen = Vec::new();
+        let outcome = engine
+            .run_streaming(&campaign, |record| seen.push(record.job))
+            .unwrap();
+        assert_eq!(seen, (0..campaign.len()).collect::<Vec<_>>());
+        assert_eq!(outcome.records.len(), campaign.len());
+        assert!(outcome.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn infeasible_profile_surfaces_as_error() {
+        let engine = Engine::new(2);
+        let mut campaign = Campaign::new("bad");
+        // silent+FT below silent-only is inconsistent in any firing model
+        // with these densities; profile construction succeeds but the
+        // firing-model solve at T=1 cannot (density too high for 1 step).
+        let profile = SparsityProfile::from_percentages(1.0, 50.0, 55.0, 98.0);
+        if let Ok(profile) = profile {
+            let spec = WorkloadSpec::new("bad", LayerShape::new(1, 4, 4, 16), profile);
+            if spec.prepare().is_err() {
+                campaign.push_layer(spec, AcceleratorSpec::loas());
+                let error = engine.run(&campaign).unwrap_err();
+                assert!(error.to_string().contains("bad"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_campaign_completes_trivially() {
+        let engine = Engine::new(3);
+        let outcome = engine.run(&Campaign::new("empty")).unwrap();
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.jsonl(), "");
+    }
+}

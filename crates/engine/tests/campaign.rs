@@ -1,0 +1,127 @@
+//! Engine acceptance tests: campaign determinism across worker counts,
+//! exactly-once workload preparation, and network-level aggregation
+//! equivalence with direct accelerator runs.
+
+use loas_core::Accelerator;
+use loas_engine::{AcceleratorSpec, Campaign, Engine, WorkloadSpec};
+use loas_workloads::networks;
+use loas_workloads::{LayerShape, SparsityProfile};
+
+fn profile() -> SparsityProfile {
+    SparsityProfile::from_percentages(82.3, 74.1, 79.6, 98.2).unwrap()
+}
+
+fn small_layer(name: &str, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(name, LayerShape::new(4, 8, 16, 192), profile()).with_seed(seed)
+}
+
+/// A small but heterogeneous campaign: 3 workloads x the full 7-model
+/// fleet, with distinct seeds on two of the workloads.
+fn mixed_campaign() -> Campaign {
+    let mut campaign = Campaign::new("mixed");
+    let layers = [
+        small_layer("det-a", 1),
+        small_layer("det-b", 2),
+        small_layer("det-c", loas_engine::DEFAULT_SEED),
+    ];
+    campaign.push_product(&layers, &AcceleratorSpec::headline_fleet());
+    campaign
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let campaign = mixed_campaign();
+    let serial = Engine::new(1).run(&campaign).unwrap();
+    let parallel = Engine::new(4).run(&campaign).unwrap();
+    let wide = Engine::new(13).run(&campaign).unwrap();
+    assert_eq!(serial.records.len(), campaign.len());
+    let reference = serial.jsonl();
+    assert!(!reference.is_empty());
+    assert_eq!(reference, parallel.jsonl(), "1 vs 4 workers diverged");
+    assert_eq!(reference, wide.jsonl(), "1 vs 13 workers diverged");
+    // Network grouping and summaries derive from the same records; spot
+    // check cycles line up job by job.
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.job, b.job);
+        assert_eq!(a.report.stats.cycles, b.report.stats.cycles);
+        assert_eq!(a.report.energy.total_pj(), b.report.energy.total_pj());
+    }
+}
+
+#[test]
+fn each_unique_workload_key_is_generated_exactly_once() {
+    let campaign = mixed_campaign();
+    // 3 plain + 3 fine-tuned variants (LoAS-FT asks for masked workloads).
+    let unique = campaign.unique_workloads().len();
+    assert_eq!(unique, 6);
+
+    let engine = Engine::new(4);
+    let outcome = engine.run(&campaign).unwrap();
+    assert_eq!(outcome.workloads_generated, unique);
+    assert_eq!(engine.cache_stats().generated, unique);
+    assert_eq!(engine.cache_stats().entries, unique);
+    // Each fresh key is "missed" once; all other jobs share a preparation.
+    assert_eq!(outcome.cache_hits, campaign.len() - unique);
+
+    // Re-running the same campaign on the same engine generates nothing:
+    // every job is a cache hit.
+    let again = engine.run(&campaign).unwrap();
+    assert_eq!(again.workloads_generated, 0);
+    assert_eq!(again.cache_hits, campaign.len());
+    assert_eq!(engine.cache_stats().generated, unique);
+    assert_eq!(again.jsonl(), outcome.jsonl());
+}
+
+#[test]
+fn network_aggregation_matches_direct_run() {
+    let mut spec = networks::alexnet();
+    for layer in &mut spec.layers {
+        layer.shape.m = layer.shape.m.clamp(1, 8);
+        layer.shape.n = layer.shape.n.min(16);
+        layer.shape.k = layer.shape.k.min(256);
+    }
+    let mut campaign = Campaign::new("network");
+    campaign.push_network(&spec, AcceleratorSpec::loas(), loas_engine::DEFAULT_SEED);
+    let outcome = Engine::new(4).run(&campaign).unwrap();
+
+    let reports = outcome.network_reports();
+    assert_eq!(reports.len(), 1);
+    let engine_report = &reports[0];
+    assert_eq!(engine_report.network, spec.name);
+    assert_eq!(engine_report.layers.len(), spec.depth());
+
+    // Direct reference: generate + prepare + run the same layers inline.
+    let generator = loas_workloads::WorkloadGenerator::default();
+    let layers: Vec<loas_core::PreparedLayer> = spec
+        .generate(&generator)
+        .unwrap()
+        .iter()
+        .map(loas_core::PreparedLayer::new)
+        .collect();
+    let direct = loas_core::Loas::default().run_network(&spec.name, &layers);
+    assert_eq!(engine_report.total_cycles(), direct.total_cycles());
+    assert_eq!(
+        engine_report.total_energy().total_pj(),
+        direct.total_energy().total_pj()
+    );
+}
+
+#[test]
+fn boxed_fleet_runs_through_the_accelerator_trait() {
+    // The enum dispatcher builds boxed trait objects usable wherever the
+    // trait is expected — the seam heterogeneous fleets rely on.
+    let layer = small_layer("boxed", 3).prepare().unwrap();
+    let mut fleet: Vec<Box<dyn Accelerator + Send>> = AcceleratorSpec::headline_fleet()
+        .iter()
+        .map(AcceleratorSpec::build)
+        .collect();
+    let mut names = Vec::new();
+    for model in &mut fleet {
+        let report = model.run_layer(&layer);
+        assert!(report.stats.cycles.get() > 0);
+        names.push(model.name());
+    }
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 7, "each fleet member reports a distinct name");
+}

@@ -79,19 +79,25 @@ impl ComponentTable {
     /// Area share of the named component in `[0, 1]`, or `None` if absent.
     pub fn area_share(&self, name: &str) -> Option<f64> {
         let total = self.total_area_mm2();
-        self.components
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| if total == 0.0 { 0.0 } else { c.area_mm2 / total })
+        self.components.iter().find(|c| c.name == name).map(|c| {
+            if total == 0.0 {
+                0.0
+            } else {
+                c.area_mm2 / total
+            }
+        })
     }
 
     /// Power share of the named component in `[0, 1]`, or `None` if absent.
     pub fn power_share(&self, name: &str) -> Option<f64> {
         let total = self.total_power_mw();
-        self.components
-            .iter()
-            .find(|c| c.name == name)
-            .map(|c| if total == 0.0 { 0.0 } else { c.power_mw / total })
+        self.components.iter().find(|c| c.name == name).map(|c| {
+            if total == 0.0 {
+                0.0
+            } else {
+                c.power_mw / total
+            }
+        })
     }
 }
 

@@ -163,7 +163,10 @@ mod tests {
         assert!((e.compute_pj - 1.0).abs() < 1e-9);
         assert!((e.sparsity_pj - 4.0 * p.fast_prefix_pj_per_cycle).abs() < 1e-9);
         assert!(e.total_pj() > 0.0);
-        assert!(e.data_movement_fraction() > 0.9, "DRAM should dominate here");
+        assert!(
+            e.data_movement_fraction() > 0.9,
+            "DRAM should dominate here"
+        );
     }
 
     #[test]

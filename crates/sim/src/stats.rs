@@ -260,7 +260,10 @@ mod tests {
 
     #[test]
     fn cache_miss_rate() {
-        let c = CacheStats { hits: 90, misses: 10 };
+        let c = CacheStats {
+            hits: 90,
+            misses: 10,
+        };
         assert!((c.miss_rate() - 0.1).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_rate(), 0.0);
     }
@@ -284,6 +287,9 @@ mod tests {
     fn class_iteration_ordered() {
         let l = TrafficLedger::new();
         let names: Vec<&str> = l.iter().map(|(c, _)| c.name()).collect();
-        assert_eq!(names, vec!["weight", "input", "psum", "output", "format", "other"]);
+        assert_eq!(
+            names,
+            vec!["weight", "input", "psum", "output", "format", "other"]
+        );
     }
 }

@@ -83,10 +83,7 @@ impl SnnNetwork {
     /// Per-layer output spike sparsity after a forward pass — useful to see
     /// the high output sparsity (~90%) the paper leverages.
     pub fn output_sparsities(&self, outputs: &[LayerOutput]) -> Vec<f64> {
-        outputs
-            .iter()
-            .map(|o| o.spikes.origin_sparsity())
-            .collect()
+        outputs.iter().map(|o| o.spikes.origin_sparsity()).collect()
     }
 }
 
@@ -136,7 +133,10 @@ mod tests {
 
     #[test]
     fn empty_network_rejected() {
-        assert!(matches!(SnnNetwork::new(vec![]), Err(SnnError::EmptyNetwork)));
+        assert!(matches!(
+            SnnNetwork::new(vec![]),
+            Err(SnnError::EmptyNetwork)
+        ));
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl SpikeTensor {
     /// # Errors
     ///
     /// Returns [`SnnError::ShapeMismatch`] when rows have unequal lengths.
-    pub fn from_packed_rows(rows: &[Vec<PackedSpikes>], timesteps: usize) -> Result<Self, SnnError> {
+    pub fn from_packed_rows(
+        rows: &[Vec<PackedSpikes>],
+        timesteps: usize,
+    ) -> Result<Self, SnnError> {
         let m = rows.len();
         let k = rows.first().map(Vec::len).unwrap_or(0);
         let mut tensor = SpikeTensor::zeros(m, k, timesteps);
@@ -128,7 +131,11 @@ impl SpikeTensor {
     ///
     /// Panics when any coordinate is out of range.
     pub fn get(&self, m: usize, k: usize, t: usize) -> bool {
-        assert!(t < self.timesteps, "timestep {t} out of range {}", self.timesteps);
+        assert!(
+            t < self.timesteps,
+            "timestep {t} out of range {}",
+            self.timesteps
+        );
         self.planes[t].get(m, k)
     }
 
@@ -138,7 +145,11 @@ impl SpikeTensor {
     ///
     /// Panics when any coordinate is out of range.
     pub fn set(&mut self, m: usize, k: usize, t: usize, value: bool) {
-        assert!(t < self.timesteps, "timestep {t} out of range {}", self.timesteps);
+        assert!(
+            t < self.timesteps,
+            "timestep {t} out of range {}",
+            self.timesteps
+        );
         self.planes[t].set(m, k, value);
     }
 
@@ -148,7 +159,11 @@ impl SpikeTensor {
     ///
     /// Panics when `t >= T`.
     pub fn plane(&self, t: usize) -> &BitMatrix {
-        assert!(t < self.timesteps, "timestep {t} out of range {}", self.timesteps);
+        assert!(
+            t < self.timesteps,
+            "timestep {t} out of range {}",
+            self.timesteps
+        );
         &self.planes[t]
     }
 

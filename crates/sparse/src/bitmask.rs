@@ -96,7 +96,11 @@ impl Bitmask {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -106,7 +110,11 @@ impl Bitmask {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / WORD_BITS];
         let bit = 1u64 << (index % WORD_BITS);
         if value {
@@ -203,7 +211,11 @@ impl Bitmask {
     /// Panics if `index > len` (equality is allowed and returns the total
     /// popcount).
     pub fn rank(&self, index: usize) -> usize {
-        assert!(index <= self.len, "rank index {index} out of range {}", self.len);
+        assert!(
+            index <= self.len,
+            "rank index {index} out of range {}",
+            self.len
+        );
         let full_words = index / WORD_BITS;
         let mut count: usize = self.words[..full_words]
             .iter()

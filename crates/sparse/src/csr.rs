@@ -69,7 +69,10 @@ impl<V> CsrMatrix<V> {
         for row in entries {
             for (c, v) in row {
                 if c >= cols {
-                    return Err(SparseError::IndexOutOfBounds { index: c, len: cols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: c,
+                        len: cols,
+                    });
                 }
                 col_idx.push(c as u32);
                 values.push(v);

@@ -213,10 +213,7 @@ mod tests {
         ];
         let fiber = SpikeFiber::from_packed_row(&row);
         assert_eq!(fiber.nnz(), 2);
-        assert_eq!(
-            fiber.bitmask().iter_ones().collect::<Vec<_>>(),
-            vec![0, 3]
-        );
+        assert_eq!(fiber.bitmask().iter_ones().collect::<Vec<_>>(), vec![0, 3]);
         // 5 raw spikes stored in 8 payload bits... the paper's 125% counts a
         // single word: check per-fiber metric is (2+3)/(4+4) = 0.625 here and
         // that the per-word example below reproduces 125%.

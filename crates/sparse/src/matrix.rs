@@ -67,7 +67,10 @@ impl<T> DenseMatrix<T> {
     ///
     /// Panics when out of range.
     pub fn get(&self, row: usize, col: usize) -> &T {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         &self.data[row * self.cols + col]
     }
 
@@ -77,7 +80,10 @@ impl<T> DenseMatrix<T> {
     ///
     /// Panics when out of range.
     pub fn set(&mut self, row: usize, col: usize, value: T) {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of range"
+        );
         self.data[row * self.cols + col] = value;
     }
 

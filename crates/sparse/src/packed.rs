@@ -180,7 +180,9 @@ impl PackedSpikes {
 
     /// Unpacks into a per-timestep boolean vector.
     pub fn to_vec(self) -> Vec<bool> {
-        (0..self.timesteps as usize).map(|t| self.fires_at(t)).collect()
+        (0..self.timesteps as usize)
+            .map(|t| self.fires_at(t))
+            .collect()
     }
 
     /// Storage footprint of the packed word in bits (`T` bits; 4 bits for

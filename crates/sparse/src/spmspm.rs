@@ -13,7 +13,10 @@ use crate::matrix::{BitMatrix, DenseMatrix};
 /// The spMspM result: one `M x N` accumulation plane per timestep.
 pub type PsumPlanes = Vec<DenseMatrix<i32>>;
 
-fn check_shapes(spikes: &[BitMatrix], weights: &DenseMatrix<i8>) -> Result<(usize, usize, usize), SparseError> {
+fn check_shapes(
+    spikes: &[BitMatrix],
+    weights: &DenseMatrix<i8>,
+) -> Result<(usize, usize, usize), SparseError> {
     let t = spikes.len();
     if t == 0 {
         return Ok((0, 0, weights.cols()));

@@ -74,7 +74,15 @@ pub fn generate_ann(
         for n in 0..shape.n {
             if rng.gen::<f64>() >= weight_sparsity {
                 let magnitude = rng.gen_range(1..=127) as i8;
-                weights.set(k, n, if rng.gen::<bool>() { magnitude } else { -magnitude });
+                weights.set(
+                    k,
+                    n,
+                    if rng.gen::<bool>() {
+                        magnitude
+                    } else {
+                        -magnitude
+                    },
+                );
             }
         }
     }

@@ -14,6 +14,10 @@ use loas_sparse::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The workspace-wide default generation seed (all reported experiments use
+/// it; [`WorkloadGenerator::default`] and the campaign engine share it).
+pub const DEFAULT_SEED: u64 = 0x10A5;
+
 /// One generated dual-sparse layer workload: the unit every accelerator
 /// model consumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,8 +134,7 @@ impl WorkloadGenerator {
     /// A LIF setting that produces plausible (high) output sparsity: the
     /// threshold scales with the expected accumulation magnitude.
     fn default_lif(shape: LayerShape, profile: &SparsityProfile) -> LifParams {
-        let expected_matches =
-            shape.k as f64 * (1.0 - profile.silent) * (1.0 - profile.weight);
+        let expected_matches = shape.k as f64 * (1.0 - profile.silent) * (1.0 - profile.weight);
         // Mean |weight| is ~64 for uniform +-[1,127]; threshold at ~1.5x the
         // expected net drift keeps output firing sparse.
         let v_th = (expected_matches * 32.0).max(16.0) as i32;
@@ -150,7 +153,11 @@ impl WorkloadGenerator {
             for ni in 0..n {
                 if rng.gen::<f64>() >= weight_sparsity {
                     let magnitude = rng.gen_range(1..=127) as i8;
-                    let value = if rng.gen::<bool>() { magnitude } else { -magnitude };
+                    let value = if rng.gen::<bool>() {
+                        magnitude
+                    } else {
+                        -magnitude
+                    };
                     weights.set(ki, ni, value);
                 }
             }
@@ -173,7 +180,7 @@ impl WorkloadGenerator {
 impl Default for WorkloadGenerator {
     /// The workspace-wide default seed (all reported experiments use it).
     fn default() -> Self {
-        WorkloadGenerator::new(0x10A5)
+        WorkloadGenerator::new(DEFAULT_SEED)
     }
 }
 
@@ -255,9 +262,7 @@ mod tests {
     fn weights_are_nonzero_when_kept() {
         let generator = WorkloadGenerator::default();
         let shape = LayerShape::new(4, 2, 16, 128);
-        let w = generator
-            .generate("w", shape, &vgg_profile())
-            .unwrap();
+        let w = generator.generate("w", shape, &vgg_profile()).unwrap();
         // Every kept weight must be non-zero (zero means pruned).
         let nnz = w.weights.nnz(|&v| v == 0);
         assert!(nnz > 0, "some weights survive at 98.2% sparsity");

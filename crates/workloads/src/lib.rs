@@ -43,6 +43,6 @@ mod sparsity;
 
 pub use ann::{generate_ann, AnnWorkload};
 pub use error::WorkloadError;
-pub use generator::{LayerWorkload, WorkloadGenerator};
+pub use generator::{LayerWorkload, WorkloadGenerator, DEFAULT_SEED};
 pub use shape::LayerShape;
 pub use sparsity::{FiringModel, SparsityProfile, TemporalScalingModel};

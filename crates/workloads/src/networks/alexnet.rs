@@ -10,13 +10,13 @@ pub fn alexnet() -> NetworkSpec {
     let profile = profiles::alexnet();
     let shapes = [
         // (out_hw, cin, cout, kernel) for conv layers
-        LayerShape::conv(t, 32, 3, 64, 3),    // L1: 32x32, 3 -> 64
-        LayerShape::conv(t, 16, 64, 192, 3),  // L2: pooled to 16x16
-        LayerShape::conv(t, 8, 192, 384, 3),  // L3: pooled to 8x8
-        LayerShape::conv(t, 8, 384, 256, 3),  // L4: A-L4 = (4, 64, 256, 3456)
-        LayerShape::conv(t, 8, 256, 256, 3),  // L5
+        LayerShape::conv(t, 32, 3, 64, 3),   // L1: 32x32, 3 -> 64
+        LayerShape::conv(t, 16, 64, 192, 3), // L2: pooled to 16x16
+        LayerShape::conv(t, 8, 192, 384, 3), // L3: pooled to 8x8
+        LayerShape::conv(t, 8, 384, 256, 3), // L4: A-L4 = (4, 64, 256, 3456)
+        LayerShape::conv(t, 8, 256, 256, 3), // L5
         LayerShape::linear(t, 256 * 2 * 2, 1024), // L6: FC after 2x2 pool
-        LayerShape::linear(t, 1024, 10),      // L7: classifier
+        LayerShape::linear(t, 1024, 10),     // L7: classifier
     ];
     NetworkSpec {
         name: "AlexNet".to_owned(),

@@ -46,6 +46,19 @@ impl LayerSpec {
     pub fn generate(&self, generator: &WorkloadGenerator) -> Result<LayerWorkload, WorkloadError> {
         generator.generate(&self.name, self.shape, &self.profile)
     }
+
+    /// The quick-mode (CI) variant: `M`/`N`/`K` shrunk to the workspace
+    /// quick shapes. Sparsity statistics and model behaviour are
+    /// scale-free, so trends hold while runtimes drop by orders of
+    /// magnitude. Every quick-mode consumer (bench context, campaign CLI)
+    /// shares this one definition.
+    pub fn shrunk_for_quick(&self) -> LayerSpec {
+        let mut shrunk = self.clone();
+        shrunk.shape.m = shrunk.shape.m.clamp(1, 16);
+        shrunk.shape.n = shrunk.shape.n.min(32);
+        shrunk.shape.k = shrunk.shape.k.min(512);
+        shrunk
+    }
 }
 
 /// A whole evaluation network.

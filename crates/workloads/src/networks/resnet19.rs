@@ -19,6 +19,7 @@ pub fn resnet19() -> NetworkSpec {
     let mut shapes = Vec::with_capacity(19);
     // Stem.
     shapes.push(LayerShape::conv(t, 32, 3, 128, 3)); // L1
+
     // Stage 1: 128 channels at 32x32 (3 blocks x 2 convs).
     for _ in 0..6 {
         shapes.push(LayerShape::conv(t, 32, 128, 128, 3)); // L2-L7

@@ -9,20 +9,20 @@ pub fn vgg16() -> NetworkSpec {
     let t = DEFAULT_TIMESTEPS;
     let profile = profiles::vgg16();
     let shapes = [
-        LayerShape::conv(t, 32, 3, 64, 3),   // L1
-        LayerShape::conv(t, 32, 64, 64, 3),  // L2, pool -> 16
-        LayerShape::conv(t, 16, 64, 128, 3), // L3
+        LayerShape::conv(t, 32, 3, 64, 3),    // L1
+        LayerShape::conv(t, 32, 64, 64, 3),   // L2, pool -> 16
+        LayerShape::conv(t, 16, 64, 128, 3),  // L3
         LayerShape::conv(t, 16, 128, 128, 3), // L4, pool -> 8
-        LayerShape::conv(t, 8, 128, 256, 3), // L5
-        LayerShape::conv(t, 8, 256, 256, 3), // L6
-        LayerShape::conv(t, 8, 256, 256, 3), // L7, pool -> 4
-        LayerShape::conv(t, 4, 256, 512, 3), // L8: V-L8 = (4, 16, 512, 2304)
-        LayerShape::conv(t, 4, 512, 512, 3), // L9
-        LayerShape::conv(t, 4, 512, 512, 3), // L10, pool -> 2
-        LayerShape::conv(t, 2, 512, 512, 3), // L11
-        LayerShape::conv(t, 2, 512, 512, 3), // L12
-        LayerShape::conv(t, 2, 512, 512, 3), // L13, pool -> 1
-        LayerShape::linear(t, 512, 10),      // L14: classifier
+        LayerShape::conv(t, 8, 128, 256, 3),  // L5
+        LayerShape::conv(t, 8, 256, 256, 3),  // L6
+        LayerShape::conv(t, 8, 256, 256, 3),  // L7, pool -> 4
+        LayerShape::conv(t, 4, 256, 512, 3),  // L8: V-L8 = (4, 16, 512, 2304)
+        LayerShape::conv(t, 4, 512, 512, 3),  // L9
+        LayerShape::conv(t, 4, 512, 512, 3),  // L10, pool -> 2
+        LayerShape::conv(t, 2, 512, 512, 3),  // L11
+        LayerShape::conv(t, 2, 512, 512, 3),  // L12
+        LayerShape::conv(t, 2, 512, 512, 3),  // L13, pool -> 1
+        LayerShape::linear(t, 512, 10),       // L14: classifier
     ];
     NetworkSpec {
         name: "VGG16".to_owned(),

@@ -28,7 +28,13 @@ impl LayerShape {
     /// The im2col shape of a square convolution: `channels_in`, square
     /// kernel `kernel`, producing `out_hw x out_hw` spatial outputs with
     /// `channels_out` filters.
-    pub fn conv(t: usize, out_hw: usize, channels_in: usize, channels_out: usize, kernel: usize) -> Self {
+    pub fn conv(
+        t: usize,
+        out_hw: usize,
+        channels_in: usize,
+        channels_out: usize,
+        kernel: usize,
+    ) -> Self {
         LayerShape {
             t,
             m: out_hw * out_hw,

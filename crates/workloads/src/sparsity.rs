@@ -272,9 +272,14 @@ impl TemporalScalingModel {
         let density = profile.spike_density();
         let pi_dead = alpha * s4;
         let slow_silent = (1.0 - alpha) * s4; // pi_slow * (1-r_slow)^t
+
         // Divide the once-firing identity by the slow-silent identity:
         // t * r / (1 - r) = once4 / slow_silent.
-        let ratio = if slow_silent > 1e-12 { once4 / slow_silent } else { 0.0 };
+        let ratio = if slow_silent > 1e-12 {
+            once4 / slow_silent
+        } else {
+            0.0
+        };
         let r_slow = ratio / (t + ratio);
         let pi_slow = if r_slow < 1.0 {
             slow_silent / (1.0 - r_slow).powf(t)
@@ -289,9 +294,7 @@ impl TemporalScalingModel {
         };
         if pi_dead + pi_slow > 1.0 + 1e-9 {
             return Err(WorkloadError::InfeasibleProfile {
-                reason: format!(
-                    "mixture masses exceed 1 (dead {pi_dead:.3} + slow {pi_slow:.3})"
-                ),
+                reason: format!("mixture masses exceed 1 (dead {pi_dead:.3} + slow {pi_slow:.3})"),
             });
         }
         Ok(TemporalScalingModel {
@@ -436,7 +439,10 @@ mod tests {
         let model = profile.firing_model(4).unwrap();
         assert!((model.silent_p() - 0.596).abs() < 1e-9);
         assert!((model.once_p() - 0.065).abs() < 1e-9);
-        assert!(model.bernoulli_p() > 0.5, "ResNet19 active neurons fire often");
+        assert!(
+            model.bernoulli_p() > 0.5,
+            "ResNet19 active neurons fire often"
+        );
     }
 
     #[test]

@@ -21,12 +21,20 @@ fn main() {
     println!("{}", "-".repeat(78));
     for variant in DataflowVariant::design_space() {
         let costs = analyze(variant, timesteps);
-        let marker = if costs.meets_all_goals() { "  <-- FTP (all goals met)" } else { "" };
+        let marker = if costs.meets_all_goals() {
+            "  <-- FTP (all goals met)"
+        } else {
+            ""
+        };
         println!(
             "{:<6} {:<6} {:<9} {:>9.0}x {:>9.0}x {:>6.0}x {:>8.0}x{}",
             variant.order.name(),
             variant.t_placement.0,
-            if variant.temporal_parallel { "parallel" } else { "seq" },
+            if variant.temporal_parallel {
+                "parallel"
+            } else {
+                "seq"
+            },
             costs.a_refetch_factor,
             costs.b_refetch_factor,
             costs.psum_factor,

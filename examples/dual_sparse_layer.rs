@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (fibers, report) = compress::compress_tensor(&a);
     println!("Fig. 8 — compression of row 0:");
     for (k, word) in fibers[0].iter() {
-        println!("  neuron {k}: packed word {word} ({} fires)", word.fire_count());
+        println!(
+            "  neuron {k}: packed word {word} ({} fires)",
+            word.fire_count()
+        );
     }
     println!(
         "  {} of {} neurons stored; payload {} bits + format {} bits; {:.0}% efficiency",
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Fig. 7: P-LIF fires all timesteps in one shot.
     let plif = ParallelLif::new(LifParams::new(4, 1), 4);
     let fired = plif.fire(&outcome.sums);
-    println!("\nFig. 7 — P-LIF one-shot output: {} (membrane {})", fired.spikes, fired.membrane);
+    println!(
+        "\nFig. 7 — P-LIF one-shot output: {} (membrane {})",
+        fired.spikes, fired.membrane
+    );
 
     // ---- A whole TPPE pass combines all of the above.
     let tppe = Tppe::new(&config);

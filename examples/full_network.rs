@@ -12,14 +12,21 @@ use loas::workloads::networks;
 use loas::{Accelerator, Loas, LoasConfig, PreparedLayer, WorkloadGenerator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "vgg16".to_owned());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vgg16".to_owned());
     let spec = match wanted.to_lowercase().as_str() {
         "alexnet" => networks::alexnet(),
         "vgg16" => networks::vgg16(),
         "resnet19" => networks::resnet19(),
         other => return Err(format!("unknown network `{other}`").into()),
     };
-    println!("{} ({} layers, {:.1}G dense ops)", spec.name, spec.depth(), spec.dense_ops() as f64 / 1e9);
+    println!(
+        "{} ({} layers, {:.1}G dense ops)",
+        spec.name,
+        spec.depth(),
+        spec.dense_ops() as f64 / 1e9
+    );
 
     let generator = WorkloadGenerator::default();
     let layers = spec.generate(&generator)?;
@@ -56,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|w| PreparedLayer::new(&w.with_preprocessing()))
         .collect();
-    let mut loas_ft = Loas::new(LoasConfig::builder().discard_low_activity_outputs(true).build());
+    let mut loas_ft = Loas::new(
+        LoasConfig::builder()
+            .discard_low_activity_outputs(true)
+            .build(),
+    );
     let ft_report = loas_ft.run_network(&format!("{}-FT", spec.name), &ft_prepared);
     println!(
         "LoAS(FT):   {} cycles ({:+.1}% vs LoAS)",

@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generator = WorkloadGenerator::default();
     let shape = LayerShape::new(4, 32, 64, 512); // (T, M, N, K)
     let workload = generator.generate("quickstart", shape, &profiles::vgg16())?;
-    println!("workload `{}` {}: {}", workload.name, shape, workload.stats().table_row());
+    println!(
+        "workload `{}` {}: {}",
+        workload.name,
+        shape,
+        workload.stats().table_row()
+    );
 
     // 2. Golden functional pass (Eqs. 1-3 of the paper).
     let golden = workload.golden_layer().forward(&workload.spikes)?;

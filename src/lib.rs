@@ -15,7 +15,10 @@
 //!   compression and inner-join, TPPEs, P-LIF, and the `Loas` accelerator
 //!   model;
 //! * [`baselines`] — SparTen-SNN, GoSPA-SNN, Gamma-SNN, PTB, Stellar, and
-//!   the dual-sparse ANN reference designs.
+//!   the dual-sparse ANN reference designs;
+//! * [`engine`] — the deterministic, multi-threaded simulation-campaign
+//!   runner (sharded job execution, prepared-layer caching, streaming
+//!   reports).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -40,6 +43,7 @@
 
 pub use loas_baselines as baselines;
 pub use loas_core as core;
+pub use loas_engine as engine;
 pub use loas_sim as sim;
 pub use loas_snn as snn;
 pub use loas_sparse as sparse;
@@ -47,5 +51,6 @@ pub use loas_workloads as workloads;
 
 pub use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
 pub use loas_core::{Accelerator, LayerReport, Loas, LoasConfig, NetworkReport, PreparedLayer};
+pub use loas_engine::{AcceleratorSpec, Campaign, CampaignOutcome, Engine, WorkloadSpec};
 pub use loas_snn::{LifParams, SnnLayer, SnnNetwork, SpikeTensor};
 pub use loas_workloads::{LayerShape, LayerWorkload, SparsityProfile, WorkloadGenerator};

@@ -117,8 +117,7 @@ fn dense_designs_are_insensitive_to_weight_sparsity() {
     let ptb_sparse = Ptb::default().run_layer(&sparse_w);
     let ptb_dense = Ptb::default().run_layer(&dense_w);
     assert_eq!(
-        ptb_sparse.stats.ops.accumulates,
-        ptb_dense.stats.ops.accumulates,
+        ptb_sparse.stats.ops.accumulates, ptb_dense.stats.ops.accumulates,
         "PTB cannot exploit weight sparsity"
     );
     let loas_sparse = Loas::default().run_layer(&sparse_w);

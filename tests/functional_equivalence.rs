@@ -27,7 +27,10 @@ fn all_spmspm_orders_agree_on_generated_workloads() {
             spmspm::outer_product(w.spikes.planes(), &w.weights).unwrap(),
             dense
         );
-        assert_eq!(spmspm::gustavson(w.spikes.planes(), &w.weights).unwrap(), dense);
+        assert_eq!(
+            spmspm::gustavson(w.spikes.planes(), &w.weights).unwrap(),
+            dense
+        );
     }
 }
 
@@ -71,7 +74,8 @@ fn loas_bit_exact_at_other_timestep_counts() {
             continue; // profile infeasible at this T: nothing to check
         };
         let golden = w.golden_layer().forward(&w.spikes).unwrap();
-        let mut loas = Loas::new(LoasConfig::builder().timesteps(t).build()).with_verification(true);
+        let mut loas =
+            Loas::new(LoasConfig::builder().timesteps(t).build()).with_verification(true);
         let report = loas.run_layer(&PreparedLayer::new(&w));
         assert_eq!(report.output.as_ref().unwrap(), &golden.spikes, "T={t}");
     }

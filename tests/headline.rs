@@ -25,7 +25,9 @@ fn run_networks() -> Vec<(NetworkReport, NetworkReport, NetworkReport, NetworkRe
                 .map(|l| PreparedLayer::new(&l.workload.with_preprocessing()))
                 .collect();
             let mut loas_ft = Loas::new(
-                LoasConfig::builder().discard_low_activity_outputs(true).build(),
+                LoasConfig::builder()
+                    .discard_low_activity_outputs(true)
+                    .build(),
             );
             (
                 loas_ft.run_network(&spec.name, &ft_layers),
@@ -60,9 +62,18 @@ fn headline_speedups_stay_in_reproduction_bands() {
     // Paper means: 6.79x / 5.99x / 3.25x. EXPERIMENTS.md records our
     // measured 6.51x / 6.06x / 3.47x; assert we stay within +-25% of the
     // paper so regressions in the models get caught.
-    assert!((vs_sparten - 6.79).abs() < 6.79 * 0.25, "vs SparTen mean {vs_sparten:.2}");
-    assert!((vs_gospa - 5.99).abs() < 5.99 * 0.30, "vs GoSPA mean {vs_gospa:.2}");
-    assert!((vs_gamma - 3.25).abs() < 3.25 * 0.30, "vs Gamma mean {vs_gamma:.2}");
+    assert!(
+        (vs_sparten - 6.79).abs() < 6.79 * 0.25,
+        "vs SparTen mean {vs_sparten:.2}"
+    );
+    assert!(
+        (vs_gospa - 5.99).abs() < 5.99 * 0.30,
+        "vs GoSPA mean {vs_gospa:.2}"
+    );
+    assert!(
+        (vs_gamma - 3.25).abs() < 3.25 * 0.30,
+        "vs Gamma mean {vs_gamma:.2}"
+    );
 }
 
 #[test]

@@ -41,12 +41,7 @@ fn loas_layerwise_execution_matches_network_forward() {
     for (i, w) in workloads.iter().enumerate() {
         let chained = LayerWorkload {
             name: format!("chained-l{i}"),
-            shape: LayerShape::new(
-                current.timesteps(),
-                current.m(),
-                w.shape.n,
-                current.k(),
-            ),
+            shape: LayerShape::new(current.timesteps(), current.m(), w.shape.n, current.k()),
             spikes: current.clone(),
             weights: w.weights.clone(),
             lif: w.lif,

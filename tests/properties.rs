@@ -3,9 +3,7 @@
 
 use loas::core::{reference_sums, AccumulatorBank, InnerJoinUnit, ParallelLif};
 use loas::sparse::prefix_sum::{exclusive_prefix_sum, PrefixSumCircuit};
-use loas::sparse::{
-    Bitmask, FastPrefixSum, LaggyPrefixSum, PackedSpikes, SpikeFiber, WeightFiber,
-};
+use loas::sparse::{Bitmask, FastPrefixSum, LaggyPrefixSum, PackedSpikes, SpikeFiber, WeightFiber};
 use loas::{LifParams, LoasConfig, SpikeTensor};
 use proptest::prelude::*;
 
