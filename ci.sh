@@ -1,19 +1,54 @@
 #!/usr/bin/env bash
-# CI entry point: formatting, lints on the engine crate, release build, and
-# the full workspace test suite (tier-1 verify is the last two steps).
+# CI entry point: formatting, lints on the engine/serve crates, release
+# build, the full workspace test suite (tier-1 verify is those two steps),
+# and an end-to-end loas-serve smoke test: enqueue -> run two shard
+# processes -> merge -> verify byte-identical to a single-process run ->
+# warm-store replay with zero simulations.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== cargo clippy (loas-engine, deny warnings)"
-cargo clippy -p loas-engine --all-targets -- -D warnings
+echo "== cargo clippy (loas-engine + loas-serve, deny warnings)"
+cargo clippy -p loas-engine -p loas-serve --all-targets -- -D warnings
 
 echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== loas-serve smoke test (2 shard processes vs 1 process, then warm replay)"
+SERVE=target/release/loas-serve
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+export LOAS_WORKERS=2  # pin engine parallelism for the smoke run
+
+"$SERVE" spec --headline --quick > "$SMOKE/headline.json"
+
+# Two separate runner processes, one shard each, sharing a queue directory.
+"$SERVE" init "$SMOKE/sharded"
+"$SERVE" enqueue "$SMOKE/sharded" "$SMOKE/headline.json"
+"$SERVE" run "$SMOKE/sharded" --shard 0/2
+"$SERVE" run "$SMOKE/sharded" --shard 1/2
+"$SERVE" merge "$SMOKE/sharded" 1 --shards 2
+
+# The single-process reference.
+"$SERVE" init "$SMOKE/single"
+"$SERVE" enqueue "$SMOKE/single" "$SMOKE/headline.json"
+"$SERVE" run "$SMOKE/single"
+
+echo "-- merged 2-shard report vs 1-process report"
+cmp "$SMOKE/sharded/reports/00001/report.jsonl" "$SMOKE/single/reports/00001/report.jsonl"
+
+# Resubmitting against the warm memo store must simulate nothing and
+# reproduce the identical report.
+"$SERVE" enqueue "$SMOKE/single" "$SMOKE/headline.json"
+"$SERVE" run "$SMOKE/single" | tee "$SMOKE/warm.out"
+grep -q "28 memo hits, 0 simulated" "$SMOKE/warm.out"
+echo "-- warm replay vs original report"
+cmp "$SMOKE/single/reports/00001/report.jsonl" "$SMOKE/single/reports/00002/report.jsonl"
+"$SERVE" status "$SMOKE/single"
 
 echo "CI OK"

@@ -5,9 +5,9 @@ use loas_bench::{experiments, Context};
 use std::path::PathBuf;
 use std::time::Instant;
 
-const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [--workers N] [all | table1 table2 \
-                     table3 table4 fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 \
-                     ablations ...]";
+const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [--workers N] [--store <dir>] \
+                     [all | table1 table2 table3 table4 fig5 fig11 fig12 fig13 fig14 fig15 \
+                     fig16 fig17 fig18 fig19 ablations ...]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +23,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|w| w.parse().expect("--workers takes a number"))
         .unwrap_or_else(loas_engine::default_workers);
+    let store_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--store")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let mut skip_next = false;
     let mut wanted: Vec<String> = args
         .into_iter()
@@ -31,7 +36,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if a == "--csv" || a == "--workers" {
+            if a == "--csv" || a == "--workers" || a == "--store" {
                 skip_next = true;
                 return false;
             }
@@ -46,6 +51,16 @@ fn main() {
             .collect();
     }
     let mut ctx = Context::with_workers(quick, workers);
+    if let Some(dir) = &store_dir {
+        let store = loas_engine::MemoStore::open(dir)
+            .unwrap_or_else(|error| panic!("cannot open memo store {}: {error}", dir.display()));
+        println!(
+            "(memo store at {}: {} entries; repeated reproductions replay instead of simulating)",
+            dir.display(),
+            store.len()
+        );
+        ctx.set_result_store(std::sync::Arc::new(store));
+    }
     if quick {
         println!("(quick mode: shrunken workloads — trends hold, magnitudes shift)");
     }
@@ -76,6 +91,10 @@ fn main() {
         cache.generated,
         cache.hits
     );
+    if store_dir.is_some() {
+        let (memo_hits, simulated) = ctx.memo_totals();
+        println!("[memo store: {memo_hits} campaign jobs replayed, {simulated} simulated]");
+    }
     if failures > 0 {
         std::process::exit(2);
     }

@@ -4,10 +4,11 @@
 //! simulation jobs across threads.
 
 use loas_core::{NetworkReport, PreparedLayer};
-use loas_engine::{AcceleratorSpec, Campaign, CampaignOutcome, Engine, WorkloadSpec};
+use loas_engine::{AcceleratorSpec, Campaign, CampaignOutcome, Engine, ResultStore, WorkloadSpec};
 use loas_workloads::networks::{LayerSpec, NetworkSpec};
 use loas_workloads::{LayerWorkload, WorkloadGenerator};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The accelerators compared in Figs. 12-14.
@@ -80,6 +81,12 @@ pub struct Context {
     reports: HashMap<(String, Design), NetworkReport>,
     /// Scale factor applied to layer `M`/`N` for quick (CI) runs.
     quick: bool,
+    /// Optional durable result store: campaign jobs whose
+    /// `(workload, accelerator)` content hash is already memoized replay
+    /// without simulating.
+    store: Option<Arc<dyn ResultStore + Send + Sync>>,
+    memo_hits: AtomicUsize,
+    simulated: AtomicUsize,
 }
 
 impl Context {
@@ -101,7 +108,27 @@ impl Context {
             engine: Engine::new(workers),
             reports: HashMap::new(),
             quick,
+            store: None,
+            memo_hits: AtomicUsize::new(0),
+            simulated: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a durable result store: every subsequent campaign consults
+    /// it before simulating and persists fresh results through it, so a
+    /// repeated figure reproduction against a warm store skips simulation
+    /// entirely.
+    pub fn set_result_store(&mut self, store: Arc<dyn ResultStore + Send + Sync>) {
+        self.store = Some(store);
+    }
+
+    /// `(memo hits, simulated)` job totals across every campaign this
+    /// context has run.
+    pub fn memo_totals(&self) -> (usize, usize) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.simulated.load(Ordering::Relaxed),
+        )
     }
 
     /// Whether this context shrinks workloads.
@@ -140,12 +167,24 @@ impl Context {
         WorkloadSpec::from_layer(&self.shrink_layer(spec)).with_seed(self.generator.seed())
     }
 
-    /// Runs a campaign on the shared engine, panicking on generation
-    /// failures (experiment profiles are known-feasible).
+    /// Runs a campaign on the shared engine (through the result store when
+    /// one is attached), panicking on generation failures (experiment
+    /// profiles are known-feasible).
     pub fn run_campaign(&self, campaign: &Campaign) -> CampaignOutcome {
-        self.engine
-            .run(campaign)
-            .expect("experiment workload profiles are feasible")
+        let outcome = self
+            .engine
+            .run_where(
+                campaign,
+                None,
+                self.store.as_deref().map(|s| s as &dyn ResultStore),
+                |_| {},
+            )
+            .expect("experiment workload profiles are feasible");
+        self.memo_hits
+            .fetch_add(outcome.memo_hits, Ordering::Relaxed);
+        self.simulated
+            .fetch_add(outcome.simulated, Ordering::Relaxed);
+        outcome
     }
 
     /// Prepares (once) one layer workload through the engine cache.
@@ -283,6 +322,36 @@ mod tests {
             assert_eq!(report.accelerator, design.name());
             assert_eq!(report.layers.len(), 7);
         }
+    }
+
+    #[test]
+    fn store_backed_context_replays_repeated_reproductions() {
+        let dir = std::env::temp_dir().join(format!("loas-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(loas_engine::MemoStore::open(&dir).unwrap());
+
+        let mut cold = Context::quick();
+        cold.set_result_store(store.clone());
+        let first = cold.network_report(&networks::alexnet(), Design::Loas);
+        let (hits, simulated) = cold.memo_totals();
+        assert_eq!(hits, 0);
+        assert_eq!(simulated, 7);
+
+        // A fresh context (a new repro session) against the warm store
+        // replays every job.
+        let mut warm = Context::quick();
+        warm.set_result_store(store);
+        let second = warm.network_report(&networks::alexnet(), Design::Loas);
+        let (hits, simulated) = warm.memo_totals();
+        assert_eq!(hits, 7, "warm store replays the whole network");
+        assert_eq!(simulated, 0);
+        assert_eq!(warm.engine().cache_stats().generated, 0);
+        assert_eq!(first.total_cycles(), second.total_cycles());
+        assert_eq!(
+            first.total_energy().total_pj(),
+            second.total_energy().total_pj()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -103,6 +103,29 @@ impl LoasConfig {
     pub fn packed_word_bits(&self) -> usize {
         self.timesteps
     }
+
+    /// Absorbs every configuration field into a stable content hash, so
+    /// memoization keys distinguish any two configurations that could
+    /// simulate differently.
+    pub fn write_content(&self, hasher: &mut crate::ContentHasher) {
+        hasher.write_usize(self.tppes);
+        hasher.write_usize(self.timesteps);
+        hasher.write_usize(self.weight_bits);
+        hasher.write_usize(self.bitmask_bits);
+        hasher.write_usize(self.laggy_adders);
+        hasher.write_usize(self.fifo_depth);
+        hasher.write_usize(self.weight_buffer_bytes);
+        hasher.write_usize(self.cache_bytes);
+        hasher.write_usize(self.cache_banks);
+        hasher.write_usize(self.cache_ways);
+        hasher.write_usize(self.cache_line_bytes);
+        hasher.write_f64(self.hbm_gbps);
+        hasher.write_usize(self.hbm_channels);
+        hasher.write_usize(self.crossbar_bus_bytes);
+        hasher.write_bool(self.discard_low_activity_outputs);
+        hasher.write_bool(self.temporal_parallel);
+        hasher.write_bool(self.two_fast_prefix);
+    }
 }
 
 impl Default for LoasConfig {

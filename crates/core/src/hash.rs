@@ -1,0 +1,138 @@
+//! A stable, platform-independent content hasher for memoization keys.
+//!
+//! `std::hash` makes no cross-process guarantees (`HashMap`'s default
+//! hasher is randomly seeded per process), so durable stores keyed on
+//! hashes need their own deterministic function. [`ContentHasher`] is
+//! FNV-1a over an explicit byte encoding: every write is length- or
+//! width-delimited, so distinct field sequences cannot collide by
+//! concatenation, and the same content hashes identically in every
+//! process, on every platform, across runs.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic 64-bit content hasher (FNV-1a).
+///
+/// # Examples
+///
+/// ```
+/// use loas_core::ContentHasher;
+///
+/// let mut a = ContentHasher::new();
+/// a.write_str("loas");
+/// a.write_u64(4);
+/// let mut b = ContentHasher::new();
+/// b.write_str("loas");
+/// b.write_u64(4);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes (no delimiter — prefer the typed writers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64` (stable across word sizes).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern (exact-equality notion:
+    /// memo keys must distinguish genuinely different configurations, and
+    /// equal configurations are copies of the same bits).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Absorbs a `bool` as one byte.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_bytes(&[u8::from(value)]);
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, value: &str) {
+        self.write_u64(value.len() as u64);
+        self.write_bytes(value.as_bytes());
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(ContentHasher::new().finish(), FNV_OFFSET);
+        let mut h = ContentHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut a = ContentHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = ContentHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn typed_writers_are_deterministic() {
+        let digest = |f: &dyn Fn(&mut ContentHasher)| {
+            let mut h = ContentHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        let one = digest(&|h| {
+            h.write_u64(7);
+            h.write_f64(1.5);
+            h.write_bool(true);
+        });
+        let two = digest(&|h| {
+            h.write_u64(7);
+            h.write_f64(1.5);
+            h.write_bool(true);
+        });
+        assert_eq!(one, two);
+        let different = digest(&|h| {
+            h.write_u64(7);
+            h.write_f64(1.5);
+            h.write_bool(false);
+        });
+        assert_ne!(one, different);
+    }
+}

@@ -47,9 +47,11 @@ pub mod compress;
 mod compressor;
 mod config;
 pub mod dataflow;
+mod hash;
 mod inner_join;
 mod metrics;
 mod plif;
+mod portable;
 mod prepared;
 mod tppe;
 
@@ -58,8 +60,10 @@ pub use accumulator::{Accumulator, AccumulatorBank};
 pub use area_power::AreaPowerModel;
 pub use compressor::{CompressedRow, Compressor};
 pub use config::{LoasConfig, LoasConfigBuilder};
+pub use hash::ContentHasher;
 pub use inner_join::{reference_sums, InnerJoinUnit, JoinOutcome};
 pub use metrics::{Accelerator, LayerReport, NetworkReport};
 pub use plif::{ParallelLif, PlifOutcome};
+pub use portable::{PortableError, PORTABLE_FORMAT};
 pub use prepared::PreparedLayer;
 pub use tppe::{Tppe, TppeOutcome};

@@ -1,0 +1,330 @@
+//! Portable, byte-exact serialization of simulation metrics.
+//!
+//! The result-memoization store persists completed [`LayerReport`]s across
+//! processes, and replayed results must reproduce the original report
+//! streams **byte-identically**. This module defines the durable format:
+//! a versioned, line-oriented `key=value` text encoding of every
+//! deterministic field of a report (names, cycle counts, traffic ledgers,
+//! cache counters, op counts, and the energy rollup). Floating-point
+//! fields round-trip exactly because Rust's `{}` formatting of `f64` is
+//! shortest-round-trip and `str::parse::<f64>` recovers the identical bit
+//! pattern.
+//!
+//! Functional outputs (`LayerReport::output`) are intentionally **not**
+//! persisted: they exist for golden-model verification at simulation time
+//! and never enter serialized campaign reports, so memoized replays carry
+//! `output: None`.
+
+use crate::metrics::LayerReport;
+use loas_sim::{
+    CacheStats, Cycle, EnergyBreakdown, OpCounts, SimStats, TrafficClass, TrafficLedger,
+};
+use std::fmt::Write as _;
+
+/// Magic first line of the portable format; bump the suffix on any layout
+/// change so stale store entries are rejected (treated as misses), never
+/// misread.
+pub const PORTABLE_FORMAT: &str = "loas-layer-report/1";
+
+/// Errors decoding a portable report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortableError {
+    /// The first line was not [`PORTABLE_FORMAT`].
+    BadHeader(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field failed to parse.
+    BadField {
+        /// The field name.
+        field: &'static str,
+        /// The offending value text.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for PortableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortableError::BadHeader(found) => {
+                write!(
+                    f,
+                    "bad portable-report header `{found}` (want `{PORTABLE_FORMAT}`)"
+                )
+            }
+            PortableError::MissingField(field) => write!(f, "missing field `{field}`"),
+            PortableError::BadField { field, value } => {
+                write!(f, "cannot parse field `{field}` from `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortableError {}
+
+fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+fn ledger_values(ledger: &TrafficLedger) -> String {
+    TrafficClass::ALL
+        .iter()
+        .map(|&class| ledger.get(class).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_list<T: std::str::FromStr>(
+    field: &'static str,
+    value: &str,
+    want: usize,
+) -> Result<Vec<T>, PortableError> {
+    let parts: Result<Vec<T>, _> = value.split(',').map(str::parse).collect();
+    match parts {
+        Ok(parts) if parts.len() == want => Ok(parts),
+        _ => Err(PortableError::BadField {
+            field,
+            value: value.to_owned(),
+        }),
+    }
+}
+
+fn ledger_from(values: &[u64]) -> TrafficLedger {
+    let mut ledger = TrafficLedger::new();
+    for (&class, &bytes) in TrafficClass::ALL.iter().zip(values) {
+        ledger.record(class, bytes);
+    }
+    ledger
+}
+
+impl LayerReport {
+    /// Serializes the deterministic fields of this report into the durable
+    /// text format (ends with a newline).
+    pub fn to_portable(&self) -> String {
+        let stats = &self.stats;
+        let energy = &self.energy;
+        let mut out = String::with_capacity(512);
+        let _ = writeln!(out, "{PORTABLE_FORMAT}");
+        let _ = writeln!(out, "workload={}", escape(&self.workload));
+        let _ = writeln!(out, "accelerator={}", escape(&self.accelerator));
+        let _ = writeln!(out, "cycles={}", stats.cycles.get());
+        let _ = writeln!(out, "stall_cycles={}", stats.stall_cycles.get());
+        let _ = writeln!(out, "dram={}", ledger_values(&stats.dram));
+        let _ = writeln!(out, "sram={}", ledger_values(&stats.sram));
+        let _ = writeln!(out, "cache={},{}", stats.cache.hits, stats.cache.misses);
+        let _ = writeln!(
+            out,
+            "ops={},{},{},{},{},{}",
+            stats.ops.accumulates,
+            stats.ops.macs,
+            stats.ops.fast_prefix_cycles,
+            stats.ops.laggy_prefix_cycles,
+            stats.ops.lif_updates,
+            stats.ops.merges
+        );
+        let _ = writeln!(
+            out,
+            "energy={},{},{},{},{}",
+            energy.dram_pj, energy.sram_pj, energy.compute_pj, energy.sparsity_pj, energy.static_pj
+        );
+        out
+    }
+
+    /// Decodes a report serialized by [`LayerReport::to_portable`]. The
+    /// functional `output` field is always `None` on decoded reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortableError`] on a header mismatch (stale format
+    /// version) or any missing/ill-formed field.
+    pub fn from_portable(text: &str) -> Result<LayerReport, PortableError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header != PORTABLE_FORMAT {
+            return Err(PortableError::BadHeader(header.to_owned()));
+        }
+        let mut workload = None;
+        let mut accelerator = None;
+        let mut cycles = None;
+        let mut stall_cycles = None;
+        let mut dram = None;
+        let mut sram = None;
+        let mut cache = None;
+        let mut ops = None;
+        let mut energy = None;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(PortableError::BadField {
+                    field: "line",
+                    value: line.to_owned(),
+                });
+            };
+            match key {
+                "workload" => workload = Some(unescape(value)),
+                "accelerator" => accelerator = Some(unescape(value)),
+                "cycles" => {
+                    cycles = Some(value.parse::<u64>().map_err(|_| PortableError::BadField {
+                        field: "cycles",
+                        value: value.to_owned(),
+                    })?)
+                }
+                "stall_cycles" => {
+                    stall_cycles =
+                        Some(value.parse::<u64>().map_err(|_| PortableError::BadField {
+                            field: "stall_cycles",
+                            value: value.to_owned(),
+                        })?)
+                }
+                "dram" => dram = Some(parse_list::<u64>("dram", value, TrafficClass::ALL.len())?),
+                "sram" => sram = Some(parse_list::<u64>("sram", value, TrafficClass::ALL.len())?),
+                "cache" => cache = Some(parse_list::<u64>("cache", value, 2)?),
+                "ops" => ops = Some(parse_list::<u64>("ops", value, 6)?),
+                "energy" => energy = Some(parse_list::<f64>("energy", value, 5)?),
+                // Unknown keys from newer minor revisions are ignored.
+                _ => {}
+            }
+        }
+        let cache = cache.ok_or(PortableError::MissingField("cache"))?;
+        let ops = ops.ok_or(PortableError::MissingField("ops"))?;
+        let energy = energy.ok_or(PortableError::MissingField("energy"))?;
+        let stats = SimStats {
+            cycles: Cycle(cycles.ok_or(PortableError::MissingField("cycles"))?),
+            stall_cycles: Cycle(stall_cycles.ok_or(PortableError::MissingField("stall_cycles"))?),
+            dram: ledger_from(&dram.ok_or(PortableError::MissingField("dram"))?),
+            sram: ledger_from(&sram.ok_or(PortableError::MissingField("sram"))?),
+            cache: CacheStats {
+                hits: cache[0],
+                misses: cache[1],
+            },
+            ops: OpCounts {
+                accumulates: ops[0],
+                macs: ops[1],
+                fast_prefix_cycles: ops[2],
+                laggy_prefix_cycles: ops[3],
+                lif_updates: ops[4],
+                merges: ops[5],
+            },
+        };
+        Ok(LayerReport {
+            workload: workload.ok_or(PortableError::MissingField("workload"))?,
+            accelerator: accelerator.ok_or(PortableError::MissingField("accelerator"))?,
+            stats,
+            energy: EnergyBreakdown {
+                dram_pj: energy[0],
+                sram_pj: energy[1],
+                compute_pj: energy[2],
+                sparsity_pj: energy[3],
+                static_pj: energy[4],
+            },
+            output: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LayerReport {
+        let mut stats = SimStats::new();
+        stats.cycles = Cycle(123_456);
+        stats.stall_cycles = Cycle(789);
+        stats.dram.record(TrafficClass::Weight, 1000);
+        stats.dram.record(TrafficClass::Format, 17);
+        stats.sram.record(TrafficClass::Input, 4096);
+        stats.cache.hits = 90;
+        stats.cache.misses = 10;
+        stats.ops.accumulates = 5555;
+        stats.ops.laggy_prefix_cycles = 8;
+        LayerReport {
+            workload: "V-L8\nodd \\name".to_owned(),
+            accelerator: "LoAS(FT)".to_owned(),
+            stats,
+            energy: EnergyBreakdown {
+                dram_pj: 31.2 * 1017.0,
+                sram_pj: 0.1 + 0.2, // deliberately non-representable exactly
+                compute_pj: 555.5,
+                sparsity_pj: 3.2,
+                static_pj: 6_172_800.0,
+            },
+            output: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_field_exactly() {
+        let report = sample();
+        let decoded = LayerReport::from_portable(&report.to_portable()).unwrap();
+        assert_eq!(decoded.workload, report.workload);
+        assert_eq!(decoded.accelerator, report.accelerator);
+        assert_eq!(decoded.stats, report.stats);
+        assert_eq!(
+            decoded.energy.dram_pj.to_bits(),
+            report.energy.dram_pj.to_bits()
+        );
+        assert_eq!(
+            decoded.energy.sram_pj.to_bits(),
+            report.energy.sram_pj.to_bits()
+        );
+        assert_eq!(
+            decoded.energy.static_pj.to_bits(),
+            report.energy.static_pj.to_bits()
+        );
+        assert!(decoded.output.is_none());
+        // Re-encoding is byte-stable.
+        assert_eq!(decoded.to_portable(), report.to_portable());
+    }
+
+    #[test]
+    fn stale_header_is_rejected() {
+        let mut text = sample().to_portable();
+        text = text.replace(PORTABLE_FORMAT, "loas-layer-report/0");
+        assert!(matches!(
+            LayerReport::from_portable(&text),
+            Err(PortableError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_error() {
+        let text = format!("{PORTABLE_FORMAT}\nworkload=w\naccelerator=a\ncycles=ten\n");
+        assert!(matches!(
+            LayerReport::from_portable(&text),
+            Err(PortableError::BadField {
+                field: "cycles",
+                ..
+            })
+        ));
+        let text = format!("{PORTABLE_FORMAT}\nworkload=w\n");
+        assert!(LayerReport::from_portable(&text).is_err());
+    }
+}

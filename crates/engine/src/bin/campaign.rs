@@ -12,11 +12,13 @@
 //! the full pool — verifies the two report streams are byte-identical, and
 //! reports the measured wall-clock speedup in the campaign summary.
 
-use loas_engine::{default_workers, AcceleratorSpec, Campaign, Engine, WorkloadSpec, DEFAULT_SEED};
+use loas_engine::{
+    default_workers, AcceleratorSpec, Campaign, Engine, MemoStore, WorkloadSpec, DEFAULT_SEED,
+};
 use loas_workloads::networks;
 
-const USAGE: &str =
-    "usage: campaign [--workers N] [--quick] [--jsonl <path>] [--no-serial] [--seed S]";
+const USAGE: &str = "usage: campaign [--workers N] [--quick] [--jsonl <path>] [--no-serial] \
+                     [--seed S] [--store <dir>]";
 
 struct Options {
     workers: usize,
@@ -24,6 +26,7 @@ struct Options {
     jsonl: Option<std::path::PathBuf>,
     compare_serial: bool,
     seed: u64,
+    store: Option<std::path::PathBuf>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -33,6 +36,7 @@ fn parse_options() -> Result<Options, String> {
         jsonl: None,
         compare_serial: true,
         seed: DEFAULT_SEED,
+        store: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +58,10 @@ fn parse_options() -> Result<Options, String> {
                 options.seed = value
                     .parse()
                     .map_err(|_| format!("bad --seed value `{value}`"))?;
+            }
+            "--store" => {
+                let value = args.next().ok_or("--store needs a directory")?;
+                options.store = Some(value.into());
             }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -135,14 +143,25 @@ fn main() {
         None
     };
 
+    let store = options.store.as_ref().map(|dir| {
+        MemoStore::open(dir).unwrap_or_else(|error| {
+            eprintln!("cannot open memo store {}: {error}", dir.display());
+            std::process::exit(1);
+        })
+    });
     println!("parallel pass: {} workers...", options.workers);
     let engine = Engine::new(options.workers);
     let mut streamed = 0usize;
     let outcome = engine
-        .run_streaming(&campaign, |record| {
-            streamed += 1;
-            eprintln!("  done [{:>3}] {}", record.job, record.label);
-        })
+        .run_where(
+            &campaign,
+            None,
+            store.as_ref().map(|s| s as &dyn loas_engine::ResultStore),
+            |record| {
+                streamed += 1;
+                eprintln!("  done [{:>3}] {}", record.job, record.label);
+            },
+        )
         .unwrap_or_else(|error| {
             eprintln!("campaign failed: {error}");
             std::process::exit(1);
@@ -150,6 +169,15 @@ fn main() {
     assert_eq!(streamed, campaign.len());
 
     print!("\n{}", outcome.summary_table());
+    if let Some(store) = &store {
+        println!(
+            "memo store at {}: {} hits, {} simulated this run; {} entries on disk",
+            store.dir().display(),
+            outcome.memo_hits,
+            outcome.simulated,
+            store.len()
+        );
+    }
     if let Some(serial) = &serial {
         let identical = serial.jsonl() == outcome.jsonl();
         println!(

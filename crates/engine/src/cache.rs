@@ -5,7 +5,11 @@
 //! ([`PreparedLayer`]) dominates campaign setup cost, and sweep-style
 //! experiments reuse the same layer under many accelerator/configuration
 //! variants. The cache guarantees each unique [`WorkloadKey`] is prepared
-//! exactly once; everything downstream shares the `Arc`.
+//! exactly once while resident; residency is bounded by a configurable
+//! entry cap with least-recently-used eviction, so network-scale sweeps
+//! cannot grow the cache without limit. The default cap is generous —
+//! far above any single repro session's unique-workload count — so
+//! eviction only engages on long-lived serving processes.
 
 use crate::spec::WorkloadKey;
 use loas_core::PreparedLayer;
@@ -13,64 +17,157 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// The default entry cap of a fresh cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
 /// Counters describing cache effectiveness over its lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PreparedCacheStats {
-    /// Workloads generated and prepared (one per unique key, ever).
+    /// Workloads generated and prepared (one per unique key while
+    /// resident; an evicted key regenerates on next use).
     pub generated: usize,
     /// Lookups served from the cache.
     pub hits: usize,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted over the cache's lifetime.
+    pub evictions: usize,
+    /// The configured entry cap.
+    pub capacity: usize,
 }
 
-/// A thread-safe, content-keyed store of prepared layers.
 #[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<WorkloadKey, (Arc<PreparedLayer>, u64)>,
+    /// Monotonic access clock: entries stamp themselves on insert and on
+    /// every hit; eviction removes the minimum stamp.
+    tick: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: &WorkloadKey) -> Option<Arc<PreparedLayer>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(layer, stamp)| {
+            *stamp = tick;
+            layer.clone()
+        })
+    }
+
+    /// Removes the least-recently-used entry. The min-scan is O(entries),
+    /// which is fine here: an insert (the only caller at capacity) always
+    /// follows a workload generation costing orders of magnitude more than
+    /// scanning even the default 4096-entry cap.
+    fn evict_lru(&mut self) -> bool {
+        let Some(victim) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(key, _)| key.clone())
+        else {
+            return false;
+        };
+        self.map.remove(&victim);
+        true
+    }
+}
+
+/// A thread-safe, content-keyed, LRU-bounded store of prepared layers.
+#[derive(Debug)]
 pub struct PreparedCache {
-    entries: Mutex<HashMap<WorkloadKey, Arc<PreparedLayer>>>,
+    inner: Mutex<CacheInner>,
+    capacity: AtomicUsize,
     generated: AtomicUsize,
     hits: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for PreparedCache {
+    fn default() -> Self {
+        PreparedCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl PreparedCache {
-    /// An empty cache.
+    /// An empty cache at the default entry cap.
     pub fn new() -> Self {
         PreparedCache::default()
     }
 
-    /// Looks a key up, counting a hit on success.
+    /// An empty cache holding at most `capacity` entries (clamped to at
+    /// least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PreparedCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: AtomicUsize::new(capacity.max(1)),
+            generated: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reconfigures the entry cap (clamped to at least 1), evicting
+    /// least-recently-used entries immediately if the cache is over the
+    /// new bound.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache lock");
+        while inner.map.len() > capacity && inner.evict_lru() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Looks a key up, counting a hit (and refreshing recency) on success.
     pub fn get(&self, key: &WorkloadKey) -> Option<Arc<PreparedLayer>> {
-        let found = self.entries.lock().expect("cache lock").get(key).cloned();
+        let found = self.inner.lock().expect("cache lock").touch(key);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
-    /// Whether a key is resident (no hit is counted).
+    /// Whether a key is resident (no hit is counted, recency unchanged).
     pub fn contains(&self, key: &WorkloadKey) -> bool {
-        self.entries.lock().expect("cache lock").contains_key(key)
+        self.inner.lock().expect("cache lock").map.contains_key(key)
     }
 
     /// Looks a key up without counting a hit (for internal derivations; job
-    /// resolutions use [`PreparedCache::get`]).
+    /// resolutions use [`PreparedCache::get`]). Recency is still refreshed
+    /// so a derivation base is not the next eviction victim.
     pub fn peek(&self, key: &WorkloadKey) -> Option<Arc<PreparedLayer>> {
-        self.entries.lock().expect("cache lock").get(key).cloned()
+        self.inner.lock().expect("cache lock").touch(key)
     }
 
-    /// Inserts a freshly generated layer, returning the resident `Arc`. The
-    /// generation counter only advances when the key was actually vacant,
-    /// so concurrent campaigns racing on one key (each campaign's own
-    /// prepare phase claims every key at most once) cannot overcount.
+    /// Inserts a freshly generated layer, returning the resident `Arc` and
+    /// evicting the least-recently-used entries if the cap is exceeded.
+    /// The generation counter only advances when the key was actually
+    /// vacant, so concurrent campaigns racing on one key (each campaign's
+    /// own prepare phase claims every key at most once) cannot overcount.
     pub fn insert(&self, key: WorkloadKey, layer: PreparedLayer) -> Arc<PreparedLayer> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        match entries.entry(key) {
-            std::collections::hash_map::Entry::Occupied(entry) => entry.get().clone(),
+        let capacity = self.capacity();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let resident = match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                entry.get_mut().1 = tick;
+                entry.get().0.clone()
+            }
             std::collections::hash_map::Entry::Vacant(entry) => {
                 self.generated.fetch_add(1, Ordering::Relaxed);
-                entry.insert(Arc::new(layer)).clone()
+                entry.insert((Arc::new(layer), tick)).0.clone()
             }
+        };
+        while inner.map.len() > capacity && inner.evict_lru() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        resident
     }
 
     /// Lifetime counters.
@@ -78,7 +175,9 @@ impl PreparedCache {
         PreparedCacheStats {
             generated: self.generated.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock").len(),
+            entries: self.inner.lock().expect("cache lock").map.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity(),
         }
     }
 }
@@ -109,5 +208,42 @@ mod tests {
         assert_eq!(stats.generated, 1);
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.capacity, DEFAULT_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let cache = PreparedCache::with_capacity(2);
+        let (a, b, c) = (spec("a"), spec("b"), spec("c"));
+        cache.insert(a.key(), a.prepare().unwrap());
+        cache.insert(b.key(), b.prepare().unwrap());
+        // Touch `a` so `b` is now least recently used.
+        assert!(cache.get(&a.key()).is_some());
+        cache.insert(c.key(), c.prepare().unwrap());
+        assert!(cache.contains(&a.key()), "recently used entry survives");
+        assert!(!cache.contains(&b.key()), "LRU entry evicted");
+        assert!(cache.contains(&c.key()));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // An evicted key regenerates (and recounts) on reinsert.
+        cache.insert(b.key(), b.prepare().unwrap());
+        assert_eq!(cache.stats().generated, 4);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache = PreparedCache::with_capacity(3);
+        for name in ["a", "b", "c"] {
+            let s = spec(name);
+            cache.insert(s.key(), s.prepare().unwrap());
+        }
+        cache.set_capacity(1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.capacity, 1);
+        assert!(cache.contains(&spec("c").key()), "newest entry survives");
     }
 }

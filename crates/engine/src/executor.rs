@@ -8,6 +8,7 @@
 //! count.
 
 use crate::cache::{PreparedCache, PreparedCacheStats};
+use crate::memo::ResultStore;
 use crate::report::{CampaignOutcome, JobRecord};
 use crate::spec::{Campaign, WorkloadSpec};
 use loas_core::{LayerReport, PreparedLayer};
@@ -65,12 +66,26 @@ impl Default for Engine {
     }
 }
 
-/// The number of worker threads [`Engine::default`] uses (one per available
-/// hardware thread).
+/// The number of worker threads [`Engine::default`] uses: the
+/// `LOAS_WORKERS` environment variable when set to a positive integer
+/// (letting daemons and CI pin parallelism without plumbing flags),
+/// otherwise one per available hardware thread.
 pub fn default_workers() -> usize {
+    if let Some(pinned) = pinned_workers(std::env::var("LOAS_WORKERS").ok().as_deref()) {
+        return pinned;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Interprets a `LOAS_WORKERS` value: positive integers pin the worker
+/// count, anything else (absent, unparsable, zero) falls through to the
+/// hardware default.
+fn pinned_workers(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|value| value.parse::<usize>().ok())
+        .filter(|&workers| workers >= 1)
 }
 
 impl Engine {
@@ -98,6 +113,13 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Rebounds the prepared-layer cache to at most `capacity` entries
+    /// (LRU eviction; clamped to at least 1), evicting immediately if the
+    /// cache is over the new bound.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
     /// Prepares (generating in parallel where missing) the given workload
     /// specs and returns their shared layers in input order.
     ///
@@ -106,10 +128,23 @@ impl Engine {
     /// Returns the first (by spec order) generation failure.
     pub fn prepare(&self, specs: &[WorkloadSpec]) -> Result<Vec<Arc<PreparedLayer>>, EngineError> {
         self.prepare_missing(specs)?;
-        Ok(specs
-            .iter()
-            .map(|spec| self.cache.get(&spec.key()).expect("just prepared"))
-            .collect())
+        specs.iter().map(|spec| self.resolve(spec)).collect()
+    }
+
+    /// Resolves one spec to its prepared layer, regenerating privately if
+    /// the entry was already evicted again (cache cap below the working
+    /// set) rather than thrashing the cache or panicking.
+    fn resolve(&self, spec: &WorkloadSpec) -> Result<Arc<PreparedLayer>, EngineError> {
+        match self.cache.get(&spec.key()) {
+            Some(layer) => Ok(layer),
+            None => spec
+                .prepare()
+                .map(Arc::new)
+                .map_err(|source| EngineError::Workload {
+                    workload: spec.name.clone(),
+                    source,
+                }),
+        }
     }
 
     /// Generates every spec whose key is not yet resident, each exactly
@@ -144,11 +179,13 @@ impl Engine {
         }
         self.generate_wave(&bases, |spec| spec.prepare())?;
         self.generate_wave(&derived, |spec| {
-            let base = self
-                .cache
-                .peek(&spec.base().key())
-                .expect("base generated in the first wave");
-            Ok(spec.prepare_from_base(&base))
+            // The base normally survives from the first wave; under a cache
+            // cap smaller than the wave it may already be evicted, in which
+            // case the derived spec regenerates standalone.
+            match self.cache.peek(&spec.base().key()) {
+                Some(base) => Ok(spec.prepare_from_base(&base)),
+                None => spec.prepare(),
+            }
         })
     }
 
@@ -219,16 +256,83 @@ impl Engine {
     pub fn run_streaming(
         &self,
         campaign: &Campaign,
+        sink: impl FnMut(&JobRecord),
+    ) -> Result<CampaignOutcome, EngineError> {
+        self.run_where(campaign, None, None, sink)
+    }
+
+    /// The fully general campaign entry point: runs an optional **subset**
+    /// of the campaign's jobs against an optional **result store**.
+    ///
+    /// * `selection` — job ids to execute (`None` = all). Ids are
+    ///   deduplicated and sorted; records stream and aggregate in ascending
+    ///   **original** job-id order, so shard reports from disjoint
+    ///   selections merge by id into the exact single-process report.
+    /// * `store` — a [`ResultStore`] consulted per job before scheduling:
+    ///   hits replay the memoized [`LayerReport`] without preparing the
+    ///   workload or simulating, and every freshly simulated result is
+    ///   written back. [`CampaignOutcome::memo_hits`] /
+    ///   [`CampaignOutcome::simulated`] report the split.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first workload-generation failure; no jobs run in that
+    /// case.
+    pub fn run_where(
+        &self,
+        campaign: &Campaign,
+        selection: Option<&[usize]>,
+        store: Option<&dyn ResultStore>,
         mut sink: impl FnMut(&JobRecord),
     ) -> Result<CampaignOutcome, EngineError> {
         let start = Instant::now();
         let stats_before = self.cache.stats();
-        let unique = campaign.unique_workloads();
-        // A job resolution counts as a cache hit only when its key did not
-        // have to be generated for this campaign: jobs beyond the first use
-        // of a fresh key, plus every use of keys cached by earlier
-        // campaigns. (Each fresh key is "missed" exactly once however many
-        // jobs share it.)
+        let jobs = campaign.jobs();
+        let selected: Vec<usize> = match selection {
+            Some(ids) => {
+                let mut ids: Vec<usize> =
+                    ids.iter().copied().filter(|&id| id < jobs.len()).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            None => (0..jobs.len()).collect(),
+        };
+
+        // Memo resolution: replayed jobs skip workload preparation and
+        // simulation entirely.
+        let mut replayed: Vec<(usize, LayerReport)> = Vec::new();
+        let mut to_run: Vec<usize> = Vec::new();
+        for &index in &selected {
+            let job = &jobs[index];
+            match store.and_then(|s| s.load(job.memo_key())) {
+                // Cross-check the stored identity against the job: a
+                // 64-bit digest collision (or a store populated under a
+                // different naming scheme) must read as a miss, never
+                // silently substitute another job's metrics.
+                Some(report)
+                    if report.workload == job.workload.reported_name()
+                        && report.accelerator == job.accelerator.name() =>
+                {
+                    replayed.push((index, report));
+                }
+                _ => to_run.push(index),
+            }
+        }
+        let memo_hits = replayed.len();
+
+        // Prepare only the workloads the simulated jobs need, each unique
+        // key at most once. A job resolution counts as a cache hit only
+        // when its key did not have to be generated for this campaign:
+        // jobs beyond the first use of a fresh key, plus every use of keys
+        // cached by earlier campaigns.
+        let mut seen = std::collections::HashSet::new();
+        let unique: Vec<WorkloadSpec> = to_run
+            .iter()
+            .map(|&index| &jobs[index].workload)
+            .filter(|workload| seen.insert(workload.key()))
+            .cloned()
+            .collect();
         let fresh_keys = unique
             .iter()
             .filter(|spec| !self.cache.contains(&spec.key()))
@@ -236,28 +340,28 @@ impl Engine {
         self.prepare_missing(&unique)?;
         let prepare_seconds = start.elapsed().as_secs_f64();
 
-        let jobs = campaign.jobs();
-        let layers: Vec<Arc<PreparedLayer>> = jobs
+        let layers: Vec<Arc<PreparedLayer>> = to_run
             .iter()
-            .map(|job| self.cache.get(&job.workload.key()).expect("prepared above"))
-            .collect();
+            .map(|&index| self.resolve(&jobs[index].workload))
+            .collect::<Result<_, _>>()?;
 
         let next = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<(usize, LayerReport, f64)>();
-        let workers = self.workers.min(jobs.len().max(1));
+        let workers = self.workers.min(to_run.len().max(1));
         let records = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let sender = sender.clone();
                 let next = &next;
                 let layers = &layers;
+                let to_run = &to_run;
                 scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else {
+                    let position = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = to_run.get(position) else {
                         break;
                     };
                     let job_start = Instant::now();
-                    let mut model = job.accelerator.build();
-                    let report = model.run_layer(&layers[index]);
+                    let mut model = jobs[index].accelerator.build();
+                    let report = model.run_layer(&layers[position]);
                     if sender
                         .send((index, report, job_start.elapsed().as_secs_f64()))
                         .is_err()
@@ -268,31 +372,47 @@ impl Engine {
             }
             drop(sender);
 
-            // Ordered streaming: hold out-of-order completions back until
-            // their predecessors arrive, then emit the ready prefix.
-            let mut pending: BTreeMap<usize, JobRecord> = BTreeMap::new();
-            let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
-            for (index, report, sim_seconds) in receiver {
+            // Ordered streaming over the selected sequence: memoized
+            // results seed the reorder buffer, fresh completions join as
+            // they arrive, and the ready prefix is emitted in ascending
+            // original-job-id order.
+            let make_record = |index: usize, report: LayerReport, sim_seconds: f64| {
                 let job = &jobs[index];
-                pending.insert(
-                    index,
-                    JobRecord {
-                        job: index,
-                        label: job.label.clone(),
-                        network: job.network.clone(),
-                        layer_index: job.layer_index,
-                        report,
-                        sim_seconds,
-                    },
-                );
-                while let Some(record) = pending.remove(&records.len()) {
+                JobRecord {
+                    job: index,
+                    label: job.label.clone(),
+                    network: job.network.clone(),
+                    layer_index: job.layer_index,
+                    report,
+                    sim_seconds,
+                }
+            };
+            let mut pending: BTreeMap<usize, JobRecord> = std::mem::take(&mut replayed)
+                .into_iter()
+                .map(|(index, report)| (index, make_record(index, report, 0.0)))
+                .collect();
+            let mut records: Vec<JobRecord> = Vec::with_capacity(selected.len());
+            let mut emit_ready = |pending: &mut BTreeMap<usize, JobRecord>,
+                                  records: &mut Vec<JobRecord>| {
+                while let Some(record) = selected
+                    .get(records.len())
+                    .and_then(|index| pending.remove(index))
+                {
                     sink(&record);
                     records.push(record);
                 }
+            };
+            emit_ready(&mut pending, &mut records);
+            for (index, report, sim_seconds) in receiver {
+                if let Some(store) = store {
+                    store.store(jobs[index].memo_key(), &report);
+                }
+                pending.insert(index, make_record(index, report, sim_seconds));
+                emit_ready(&mut pending, &mut records);
             }
             records
         });
-        debug_assert_eq!(records.len(), jobs.len());
+        debug_assert_eq!(records.len(), selected.len());
 
         let stats_after = self.cache.stats();
         Ok(CampaignOutcome {
@@ -302,7 +422,9 @@ impl Engine {
             wall_seconds: start.elapsed().as_secs_f64(),
             prepare_seconds,
             workloads_generated: stats_after.generated - stats_before.generated,
-            cache_hits: jobs.len().saturating_sub(fresh_keys),
+            cache_hits: to_run.len().saturating_sub(fresh_keys),
+            memo_hits,
+            simulated: to_run.len(),
         })
     }
 }
@@ -353,6 +475,20 @@ mod tests {
                 assert!(error.to_string().contains("bad"));
             }
         }
+    }
+
+    #[test]
+    fn loas_workers_override_parsing() {
+        // The env read itself is a one-liner; the interpretation rules are
+        // what need pinning (and testing them via set_var would race the
+        // parallel test harness).
+        assert_eq!(pinned_workers(Some("3")), Some(3));
+        assert_eq!(pinned_workers(Some("1")), Some(1));
+        assert_eq!(pinned_workers(Some("0")), None, "zero is rejected");
+        assert_eq!(pinned_workers(Some("not-a-number")), None);
+        assert_eq!(pinned_workers(Some("")), None);
+        assert_eq!(pinned_workers(None), None);
+        assert!(default_workers() >= 1);
     }
 
     #[test]

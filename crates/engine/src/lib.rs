@@ -18,6 +18,16 @@
 //!    aggregates per-layer results into [`NetworkReport`]s plus a human
 //!    summary with measured wall-clock timing.
 //!
+//! On top of those, [`Engine::run_where`] generalizes execution for the
+//! `loas-serve` front end: an optional **job-id selection** runs one shard
+//! of a campaign (records keep their original ids, so shard reports merge
+//! byte-identically), and an optional [`ResultStore`] **memoizes results**
+//! by `(workload, accelerator)` content hash ([`JobSpec::memo_key`]) so
+//! resubmitted campaigns replay cached reports instead of simulating. The
+//! on-disk [`MemoStore`] is the durable implementation shared by
+//! `loas-serve`, the `campaign` binary (`--store`), and `repro`
+//! (`--store`).
+//!
 //! The `campaign` binary replays the paper's headline comparison (the full
 //! accelerator fleet over the four selected layers) as one campaign:
 //!
@@ -54,10 +64,12 @@
 
 mod cache;
 mod executor;
+pub(crate) mod memo;
 mod report;
 mod spec;
 
-pub use cache::{PreparedCache, PreparedCacheStats};
+pub use cache::{PreparedCache, PreparedCacheStats, DEFAULT_CACHE_CAPACITY};
 pub use executor::{default_workers, Engine, EngineError};
-pub use report::{CampaignOutcome, JobRecord};
+pub use memo::{MemoKey, MemoStore, MemoStoreStats, ResultStore};
+pub use report::{json_escape, CampaignOutcome, JobRecord};
 pub use spec::{AcceleratorSpec, Campaign, JobSpec, WorkloadKey, WorkloadSpec, DEFAULT_SEED};

@@ -29,7 +29,10 @@ pub struct JobRecord {
     pub sim_seconds: f64,
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in the report streams' JSON (and in any
+/// generated spec JSON — `loas-serve` shares this helper so both sides of
+/// a byte-identity comparison escape identically).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -132,6 +135,11 @@ pub struct CampaignOutcome {
     /// first use of each freshly generated key, plus every use of keys
     /// cached by earlier campaigns on the same engine.
     pub cache_hits: usize,
+    /// Jobs replayed from the result-memoization store (zero when no store
+    /// was supplied).
+    pub memo_hits: usize,
+    /// Jobs actually simulated this run (`records.len() - memo_hits`).
+    pub simulated: usize,
 }
 
 impl CampaignOutcome {
@@ -213,6 +221,13 @@ impl CampaignOutcome {
             "workload cache: {} generated, {} hits",
             self.workloads_generated, self.cache_hits
         );
+        if self.memo_hits > 0 {
+            let _ = writeln!(
+                out,
+                "result memo: {} hits, {} simulated",
+                self.memo_hits, self.simulated
+            );
+        }
         let label_width = self
             .records
             .iter()
@@ -266,6 +281,7 @@ mod tests {
     }
 
     fn outcome(records: Vec<JobRecord>) -> CampaignOutcome {
+        let simulated = records.len();
         CampaignOutcome {
             campaign: "t".to_owned(),
             workers: 2,
@@ -274,6 +290,8 @@ mod tests {
             prepare_seconds: 0.5,
             workloads_generated: 1,
             cache_hits: 3,
+            memo_hits: 0,
+            simulated,
         }
     }
 

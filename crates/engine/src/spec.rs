@@ -30,6 +30,25 @@ pub struct WorkloadKey {
     fine_tuned: bool,
 }
 
+impl WorkloadKey {
+    /// Absorbs the key's identifying content into a stable hash (the
+    /// workload half of a [`MemoKey`]).
+    ///
+    /// [`MemoKey`]: crate::MemoKey
+    pub fn write_content(&self, hasher: &mut loas_core::ContentHasher) {
+        hasher.write_str(&self.name);
+        hasher.write_usize(self.shape.t);
+        hasher.write_usize(self.shape.m);
+        hasher.write_usize(self.shape.n);
+        hasher.write_usize(self.shape.k);
+        for &bits in &self.profile_bits {
+            hasher.write_u64(bits);
+        }
+        hasher.write_u64(self.seed);
+        hasher.write_bool(self.fine_tuned);
+    }
+}
+
 impl std::fmt::Display for WorkloadKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -102,6 +121,19 @@ impl WorkloadSpec {
             ],
             seed: self.seed,
             fine_tuned: self.fine_tuned,
+        }
+    }
+
+    /// The workload name the prepared layer — and therefore every
+    /// [`LayerReport`] simulated from it — carries: the fine-tuned
+    /// preprocessor suffixes its maskings with `+FT`.
+    ///
+    /// [`LayerReport`]: loas_core::LayerReport
+    pub fn reported_name(&self) -> String {
+        if self.fine_tuned {
+            format!("{}+FT", self.name)
+        } else {
+            self.name.clone()
         }
     }
 
@@ -215,6 +247,23 @@ impl AcceleratorSpec {
     pub fn name(&self) -> String {
         self.build().name()
     }
+
+    /// Absorbs the accelerator's identifying content into a stable hash: a
+    /// per-variant discriminant plus, for [`AcceleratorSpec::Loas`], every
+    /// configuration field.
+    pub fn write_content(&self, hasher: &mut loas_core::ContentHasher) {
+        match self {
+            AcceleratorSpec::SparTen => hasher.write_u64(1),
+            AcceleratorSpec::Gospa => hasher.write_u64(2),
+            AcceleratorSpec::Gamma => hasher.write_u64(3),
+            AcceleratorSpec::Loas(config) => {
+                hasher.write_u64(4);
+                config.write_content(hasher);
+            }
+            AcceleratorSpec::Ptb => hasher.write_u64(5),
+            AcceleratorSpec::Stellar => hasher.write_u64(6),
+        }
+    }
 }
 
 /// One unit of campaign work: simulate one workload on one accelerator.
@@ -246,6 +295,21 @@ impl JobSpec {
             workload,
             accelerator,
         }
+    }
+
+    /// The job's result-memoization key: a stable content hash of the
+    /// `(workload, accelerator)` pair. Presentation fields (`label`,
+    /// `network`, `layer_index`) are deliberately excluded — they do not
+    /// influence the simulated [`LayerReport`], so jobs that differ only
+    /// in labeling share one memoized result.
+    ///
+    /// [`LayerReport`]: loas_core::LayerReport
+    pub fn memo_key(&self) -> crate::MemoKey {
+        let mut hasher = loas_core::ContentHasher::new();
+        hasher.write_str(crate::memo::MEMO_KEY_FORMAT);
+        self.workload.key().write_content(&mut hasher);
+        self.accelerator.write_content(&mut hasher);
+        crate::MemoKey::new(hasher.finish())
     }
 }
 
@@ -372,6 +436,16 @@ mod tests {
         assert_ne!(a.key(), a.clone().fine_tuned().key());
         let other_shape = WorkloadSpec::new("w", LayerShape::new(4, 8, 8, 128), profile());
         assert_ne!(a.key(), other_shape.key());
+    }
+
+    #[test]
+    fn reported_name_matches_prepared_layer_name() {
+        // The memo-replay cross-check relies on this equality.
+        let plain = WorkloadSpec::new("w", LayerShape::new(4, 4, 8, 64), profile());
+        assert_eq!(plain.prepare().unwrap().name, plain.reported_name());
+        let ft = plain.fine_tuned();
+        assert_eq!(ft.prepare().unwrap().name, ft.reported_name());
+        assert_eq!(ft.reported_name(), "w+FT");
     }
 
     #[test]

@@ -125,3 +125,95 @@ fn boxed_fleet_runs_through_the_accelerator_trait() {
     names.dedup();
     assert_eq!(names.len(), 7, "each fleet member reports a distinct name");
 }
+
+#[test]
+fn subset_runs_partition_and_merge_byte_identically() {
+    let campaign = mixed_campaign();
+    let full = Engine::new(3).run(&campaign).unwrap();
+    let reference = full.jsonl();
+
+    // Round-robin shards: job i belongs to shard (i % n). Each shard runs
+    // on its own engine (separate caches, like separate processes); lines
+    // keep original job ids, so interleaving by id rebuilds the reference.
+    for shards in [1usize, 2, 3, 5] {
+        let mut lines: Vec<Option<String>> = vec![None; campaign.len()];
+        for rank in 0..shards {
+            let ids: Vec<usize> = (0..campaign.len()).filter(|i| i % shards == rank).collect();
+            let engine = Engine::new(2);
+            let outcome = engine
+                .run_where(&campaign, Some(&ids), None, |_| {})
+                .unwrap();
+            assert_eq!(outcome.records.len(), ids.len());
+            assert_eq!(outcome.simulated, ids.len());
+            for record in &outcome.records {
+                assert!(lines[record.job].replace(record.to_json()).is_none());
+            }
+        }
+        let merged: String = lines
+            .into_iter()
+            .map(|line| line.expect("every job covered by exactly one shard") + "\n")
+            .collect();
+        assert_eq!(merged, reference, "{shards}-way shard merge diverged");
+    }
+}
+
+#[test]
+fn memo_store_replays_warm_campaigns_without_simulating() {
+    let dir = std::env::temp_dir().join(format!("loas-engine-memo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = loas_engine::MemoStore::open(&dir).unwrap();
+    let campaign = mixed_campaign();
+
+    let cold_engine = Engine::new(4);
+    let cold = cold_engine
+        .run_where(&campaign, None, Some(&store), |_| {})
+        .unwrap();
+    assert_eq!(cold.memo_hits, 0);
+    assert_eq!(cold.simulated, campaign.len());
+    assert_eq!(store.len(), campaign.len(), "every result persisted");
+
+    // A fresh engine (fresh prepared cache — a new process in miniature)
+    // replays everything from the store: zero generations, zero jobs
+    // simulated, byte-identical report.
+    let warm_engine = Engine::new(4);
+    let warm = warm_engine
+        .run_where(&campaign, None, Some(&store), |_| {})
+        .unwrap();
+    assert_eq!(warm.memo_hits, campaign.len());
+    assert_eq!(warm.simulated, 0);
+    assert_eq!(warm.workloads_generated, 0);
+    assert_eq!(warm_engine.cache_stats().generated, 0);
+    assert_eq!(warm.jsonl(), cold.jsonl());
+
+    // Overlapping campaign: half the jobs known, half novel.
+    let mut extended = mixed_campaign();
+    extended.push_layer(small_layer("novel", 9), AcceleratorSpec::loas());
+    let mixed = Engine::new(4)
+        .run_where(&extended, None, Some(&store), |_| {})
+        .unwrap();
+    assert_eq!(mixed.memo_hits, campaign.len());
+    assert_eq!(mixed.simulated, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// The `LOAS_WORKERS` override rules are unit-tested against the pure
+// parser in `executor.rs` (`loas_workers_override_parsing`); mutating the
+// process environment here would race the parallel test harness.
+
+#[test]
+fn tiny_cache_capacity_still_completes_and_matches() {
+    // Regression: a cache cap below the campaign's unique-workload count
+    // (including the FT-derived second wave) must degrade to regeneration,
+    // not panic, and must not change the report bytes.
+    let campaign = mixed_campaign();
+    let reference = Engine::new(2).run(&campaign).unwrap().jsonl();
+    let tiny = Engine::new(2);
+    tiny.set_cache_capacity(1);
+    let outcome = tiny.run(&campaign).unwrap();
+    assert_eq!(outcome.jsonl(), reference);
+    assert!(tiny.cache_stats().evictions > 0, "the cap actually engaged");
+    // The standalone prepare path survives a tiny cache too.
+    let specs: Vec<loas_engine::WorkloadSpec> = campaign.unique_workloads();
+    let layers = tiny.prepare(&specs).unwrap();
+    assert_eq!(layers.len(), specs.len());
+}

@@ -1,0 +1,221 @@
+//! The `loas-serve` CLI: durable campaign queue, sharded runners, and
+//! report merging over one queue directory.
+//!
+//! ```text
+//! loas-serve init <dir>
+//! loas-serve spec --headline [--quick] [--seed S]
+//! loas-serve enqueue <dir> (<spec.json> | --headline [--quick] [--seed S])
+//! loas-serve run <dir> [--shard K/N] [--workers W] [--no-store]
+//!                      [--cache-capacity N] [--watch [--poll-ms P] [--idle-ms I]]
+//! loas-serve merge <dir> <campaign-id> --shards N
+//! loas-serve status <dir>
+//! ```
+
+use loas_serve::spec_io::{campaign_to_json, headline_campaign};
+use loas_serve::{drain, merge, watch, Queue, RunOptions, ServeError, ShardSpec};
+use std::time::Duration;
+
+const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|status> ...
+  init <dir>                                   create a queue directory
+  spec --headline [--quick] [--seed S]         print a campaign spec to stdout
+  enqueue <dir> <spec.json>                    submit a campaign spec file
+  enqueue <dir> --headline [--quick] [--seed S]  submit the built-in headline campaign
+  run <dir> [--shard K/N] [--workers W] [--no-store] [--cache-capacity N]
+            [--watch [--poll-ms P] [--idle-ms I]]  drain the queue (one shard per process)
+  merge <dir> <campaign-id> --shards N         merge shard reports into report.jsonl
+  status <dir>                                 list submissions and their states";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("init") => cmd_init(&args[1..]),
+        Some("spec") => cmd_spec(&args[1..]),
+        Some("enqueue") => cmd_enqueue(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return;
+        }
+        Some(other) => Err(usage(format!("unknown command `{other}`"))),
+    };
+    if let Err(error) = result {
+        eprintln!("loas-serve: {error}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: impl std::fmt::Display) -> ServeError {
+    ServeError::Queue(format!("{message}\n{USAGE}"))
+}
+
+fn cmd_init(args: &[String]) -> Result<(), ServeError> {
+    let [dir] = args else {
+        return Err(usage("init takes exactly one directory"));
+    };
+    let queue = Queue::init(dir)?;
+    println!("initialized queue at {}", queue.root().display());
+    Ok(())
+}
+
+/// Parses the `--headline [--quick] [--seed S]` spec-source flags.
+fn headline_flags(args: &[String]) -> Result<Option<String>, ServeError> {
+    if !args.iter().any(|a| a == "--headline") {
+        return Ok(None);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = match args.iter().position(|a| a == "--seed") {
+        None => loas_engine::DEFAULT_SEED,
+        Some(index) => args
+            .get(index + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| usage("--seed needs an integer value"))?,
+    };
+    Ok(Some(campaign_to_json(&headline_campaign(quick, seed))))
+}
+
+fn cmd_spec(args: &[String]) -> Result<(), ServeError> {
+    let Some(spec) = headline_flags(args)? else {
+        return Err(usage("spec requires --headline"));
+    };
+    print!("{spec}");
+    Ok(())
+}
+
+fn cmd_enqueue(args: &[String]) -> Result<(), ServeError> {
+    let Some(dir) = args.first() else {
+        return Err(usage("enqueue needs a queue directory"));
+    };
+    let queue = Queue::open(dir)?;
+    let spec = match headline_flags(&args[1..])? {
+        Some(spec) => spec,
+        None => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return Err(usage("enqueue needs a spec file or --headline"));
+            };
+            std::fs::read_to_string(path).map_err(|source| ServeError::Io {
+                path: path.into(),
+                source,
+            })?
+        }
+    };
+    let submission = queue.enqueue(&spec)?;
+    println!(
+        "enqueued campaign {:05} `{}` ({} jobs)",
+        submission.id, submission.name, submission.jobs
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), ServeError> {
+    let Some(dir) = args.first() else {
+        return Err(usage("run needs a queue directory"));
+    };
+    let queue = Queue::open(dir)?;
+    let mut options = RunOptions::default();
+    let mut watch_mode = false;
+    let mut poll = Duration::from_millis(500);
+    let mut max_idle: Option<Duration> = None;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--shard" => {
+                let value = rest.next().ok_or_else(|| usage("--shard needs K/N"))?;
+                options.shard = ShardSpec::parse(value)?;
+            }
+            "--workers" => {
+                let value = rest.next().and_then(|v| v.parse().ok());
+                options.workers = value.ok_or_else(|| usage("--workers needs an integer"))?;
+            }
+            "--cache-capacity" => {
+                let value = rest.next().and_then(|v| v.parse().ok());
+                options.cache_capacity =
+                    Some(value.ok_or_else(|| usage("--cache-capacity needs an integer"))?);
+            }
+            "--no-store" => options.use_store = false,
+            "--watch" => watch_mode = true,
+            "--poll-ms" => {
+                let value = rest.next().and_then(|v| v.parse().ok());
+                poll = Duration::from_millis(
+                    value.ok_or_else(|| usage("--poll-ms needs an integer"))?,
+                );
+            }
+            "--idle-ms" => {
+                let value = rest.next().and_then(|v| v.parse().ok());
+                max_idle = Some(Duration::from_millis(
+                    value.ok_or_else(|| usage("--idle-ms needs an integer"))?,
+                ));
+            }
+            other => return Err(usage(format!("unknown run flag `{other}`"))),
+        }
+    }
+
+    let shard = options.shard;
+    let progress = |p: &loas_serve::CampaignProgress| {
+        println!(
+            "campaign {:05} `{}` shard {shard}: {} jobs ({} memo hits, {} simulated, {} workloads generated) in {:.3}s",
+            p.id, p.name, p.jobs, p.memo_hits, p.simulated, p.generated, p.wall_seconds
+        );
+    };
+    let summary = if watch_mode {
+        watch(&queue, &options, poll, max_idle, progress)?
+    } else {
+        drain(&queue, &options, progress)?
+    };
+    println!(
+        "pass complete: {} campaign shard(s), {} failed, {} jobs ({} memo hits, {} simulated)",
+        summary.campaigns, summary.failed, summary.jobs, summary.memo_hits, summary.simulated
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), ServeError> {
+    let (Some(dir), Some(id)) = (args.first(), args.get(1)) else {
+        return Err(usage("merge needs a queue directory and a campaign id"));
+    };
+    let id: u64 = id
+        .parse()
+        .map_err(|_| usage(format!("bad campaign id `{id}`")))?;
+    let shards = match args.iter().position(|a| a == "--shards") {
+        Some(index) => args
+            .get(index + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| usage("--shards needs a positive integer"))?,
+        None => return Err(usage("merge requires --shards N")),
+    };
+    let queue = Queue::open(dir)?;
+    let jobs = merge(&queue, id, shards)?;
+    println!(
+        "merged {shards} shard(s) of campaign {id:05} into {} ({jobs} jobs)",
+        queue.report_dir(id).join("report.jsonl").display()
+    );
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), ServeError> {
+    let [dir] = args else {
+        return Err(usage("status takes exactly one queue directory"));
+    };
+    let queue = Queue::open(dir)?;
+    let submissions = queue.submissions()?;
+    if submissions.is_empty() {
+        println!("queue {} is empty", queue.root().display());
+        return Ok(());
+    }
+    println!("{:>5}  {:>6}  {:<10}  name", "id", "jobs", "state");
+    for submission in submissions {
+        let state = queue
+            .state(submission.id)
+            .map_or_else(|_| "unknown".to_owned(), |s| s.to_string());
+        println!(
+            "{:>5}  {:>6}  {:<10}  {}",
+            format!("{:05}", submission.id),
+            submission.jobs,
+            state,
+            submission.name
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! The serving subsystem's error type.
+
+use loas_engine::EngineError;
+use std::path::PathBuf;
+
+/// Everything that can go wrong between a submitted spec and a merged
+/// report.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O failure, annotated with the path being touched.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A campaign spec (or other JSON document) failed to parse.
+    Spec(String),
+    /// The queue directory is malformed or an id is unknown.
+    Queue(String),
+    /// The engine rejected a campaign (infeasible workload profile).
+    Engine(EngineError),
+    /// Shard reports could not be merged (missing shard, duplicate or
+    /// missing job ids).
+    Merge(String),
+}
+
+impl ServeError {
+    pub(crate) fn io(path: impl Into<PathBuf>) -> impl FnOnce(std::io::Error) -> ServeError {
+        let path = path.into();
+        move |source| ServeError::Io { path, source }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            ServeError::Spec(message) => write!(f, "bad campaign spec: {message}"),
+            ServeError::Queue(message) => write!(f, "queue error: {message}"),
+            ServeError::Engine(source) => write!(f, "engine error: {source}"),
+            ServeError::Merge(message) => write!(f, "merge error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Engine(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(source: EngineError) -> Self {
+        ServeError::Engine(source)
+    }
+}

@@ -1,0 +1,401 @@
+//! Campaign specs as JSON documents: the wire format of the durable queue.
+//!
+//! A spec is a complete, self-contained description of a campaign — name
+//! plus a flat job list, each job pairing a workload (shape, sparsity
+//! fractions, seed, fine-tuning flag) with an accelerator. Serialization
+//! is exact: seeds are integers, sparsity fractions are shortest-round-trip
+//! `f64` tokens, so `campaign_from_json(campaign_to_json(c))` rebuilds a
+//! campaign whose jobs carry identical [`memo keys`](loas_engine::JobSpec::memo_key)
+//! and produce byte-identical reports.
+
+use crate::error::ServeError;
+use crate::json::{escape, Json};
+use loas_core::LoasConfig;
+use loas_engine::{AcceleratorSpec, Campaign, JobSpec, WorkloadSpec};
+use loas_workloads::networks;
+use loas_workloads::{LayerShape, SparsityProfile};
+use std::fmt::Write as _;
+
+/// Serializes a campaign into the queue's JSON spec format (pretty,
+/// one job per line block).
+pub fn campaign_to_json(campaign: &Campaign) -> String {
+    let mut out = String::with_capacity(256 * campaign.len().max(1));
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"name\": \"{}\",", escape(&campaign.name));
+    let _ = writeln!(out, "  \"jobs\": [");
+    for (index, job) in campaign.jobs().iter().enumerate() {
+        let _ = write!(out, "    {}", job_to_json(job));
+        let _ = writeln!(out, "{}", if index + 1 < campaign.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn job_to_json(job: &JobSpec) -> String {
+    let workload = &job.workload;
+    let profile = &workload.profile;
+    let mut out = String::with_capacity(256);
+    let _ = write!(out, "{{\"label\": \"{}\", ", escape(&job.label));
+    match &job.network {
+        Some(network) => {
+            let _ = write!(
+                out,
+                "\"network\": \"{}\", \"layer_index\": {}, ",
+                escape(network),
+                job.layer_index
+            );
+        }
+        None => out.push_str("\"network\": null, \"layer_index\": 0, "),
+    }
+    let _ = write!(
+        out,
+        "\"workload\": {{\"name\": \"{}\", \"shape\": {{\"t\": {}, \"m\": {}, \"n\": {}, \"k\": {}}}, \
+         \"profile\": {{\"spike_origin\": {}, \"silent\": {}, \"silent_ft\": {}, \"weight\": {}}}, \
+         \"seed\": {}, \"fine_tuned\": {}}}, ",
+        escape(&workload.name),
+        workload.shape.t,
+        workload.shape.m,
+        workload.shape.n,
+        workload.shape.k,
+        profile.spike_origin,
+        profile.silent,
+        profile.silent_ft,
+        profile.weight,
+        workload.seed,
+        workload.fine_tuned
+    );
+    let _ = write!(
+        out,
+        "\"accelerator\": {}}}",
+        accelerator_to_json(&job.accelerator)
+    );
+    out
+}
+
+fn accelerator_to_json(spec: &AcceleratorSpec) -> String {
+    match spec {
+        AcceleratorSpec::SparTen => "\"sparten\"".to_owned(),
+        AcceleratorSpec::Gospa => "\"gospa\"".to_owned(),
+        AcceleratorSpec::Gamma => "\"gamma\"".to_owned(),
+        AcceleratorSpec::Ptb => "\"ptb\"".to_owned(),
+        AcceleratorSpec::Stellar => "\"stellar\"".to_owned(),
+        AcceleratorSpec::Loas(config) => format!(
+            "{{\"loas\": {{\"tppes\": {}, \"timesteps\": {}, \"weight_bits\": {}, \
+             \"bitmask_bits\": {}, \"laggy_adders\": {}, \"fifo_depth\": {}, \
+             \"weight_buffer_bytes\": {}, \"cache_bytes\": {}, \"cache_banks\": {}, \
+             \"cache_ways\": {}, \"cache_line_bytes\": {}, \"hbm_gbps\": {}, \
+             \"hbm_channels\": {}, \"crossbar_bus_bytes\": {}, \
+             \"discard_low_activity_outputs\": {}, \"temporal_parallel\": {}, \
+             \"two_fast_prefix\": {}}}}}",
+            config.tppes,
+            config.timesteps,
+            config.weight_bits,
+            config.bitmask_bits,
+            config.laggy_adders,
+            config.fifo_depth,
+            config.weight_buffer_bytes,
+            config.cache_bytes,
+            config.cache_banks,
+            config.cache_ways,
+            config.cache_line_bytes,
+            config.hbm_gbps,
+            config.hbm_channels,
+            config.crossbar_bus_bytes,
+            config.discard_low_activity_outputs,
+            config.temporal_parallel,
+            config.two_fast_prefix
+        ),
+    }
+}
+
+fn spec_err(message: impl Into<String>) -> ServeError {
+    ServeError::Spec(message.into())
+}
+
+fn required<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a Json, ServeError> {
+    value
+        .get(key)
+        .ok_or_else(|| spec_err(format!("missing `{key}` in {context}")))
+}
+
+fn required_usize(value: &Json, key: &str, context: &str) -> Result<usize, ServeError> {
+    required(value, key, context)?.as_usize().ok_or_else(|| {
+        spec_err(format!(
+            "`{key}` in {context} must be a non-negative integer"
+        ))
+    })
+}
+
+fn required_f64(value: &Json, key: &str, context: &str) -> Result<f64, ServeError> {
+    required(value, key, context)?
+        .as_f64()
+        .ok_or_else(|| spec_err(format!("`{key}` in {context} must be a number")))
+}
+
+/// Parses a campaign spec JSON document back into an engine [`Campaign`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Spec`] describing the first syntax or schema
+/// problem.
+pub fn campaign_from_json(text: &str) -> Result<Campaign, ServeError> {
+    let doc = Json::parse(text).map_err(spec_err)?;
+    let name = required(&doc, "name", "campaign")?
+        .as_str()
+        .ok_or_else(|| spec_err("`name` must be a string"))?;
+    let jobs = required(&doc, "jobs", "campaign")?
+        .as_arr()
+        .ok_or_else(|| spec_err("`jobs` must be an array"))?;
+    let mut campaign = Campaign::new(name);
+    for (index, job) in jobs.iter().enumerate() {
+        campaign.push(job_from_json(job, index)?);
+    }
+    Ok(campaign)
+}
+
+fn job_from_json(job: &Json, index: usize) -> Result<JobSpec, ServeError> {
+    let context = format!("job {index}");
+    let workload = workload_from_json(required(job, "workload", &context)?, &context)?;
+    let accelerator = accelerator_from_json(required(job, "accelerator", &context)?, &context)?;
+    let label = match job.get("label").and_then(Json::as_str) {
+        Some(label) => label.to_owned(),
+        None => format!("{} @ {}", workload.name, accelerator.name()),
+    };
+    let network = match job.get("network") {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| spec_err(format!("`network` in {context} must be a string")))?
+                .to_owned(),
+        ),
+    };
+    let layer_index = match job.get("layer_index") {
+        None => 0,
+        Some(value) => value
+            .as_usize()
+            .ok_or_else(|| spec_err(format!("`layer_index` in {context} must be an integer")))?,
+    };
+    Ok(JobSpec {
+        label,
+        network,
+        layer_index,
+        workload,
+        accelerator,
+    })
+}
+
+fn workload_from_json(workload: &Json, context: &str) -> Result<WorkloadSpec, ServeError> {
+    let name = required(workload, "name", context)?
+        .as_str()
+        .ok_or_else(|| spec_err(format!("workload `name` in {context} must be a string")))?;
+    let shape = required(workload, "shape", context)?;
+    let shape = LayerShape::new(
+        required_usize(shape, "t", context)?,
+        required_usize(shape, "m", context)?,
+        required_usize(shape, "n", context)?,
+        required_usize(shape, "k", context)?,
+    );
+    let profile = required(workload, "profile", context)?;
+    // Fractions in [0, 1], copied bit-exactly (not percentages): the memo
+    // key hashes these bits, so a spec round trip must not perturb them.
+    let profile = SparsityProfile {
+        spike_origin: required_f64(profile, "spike_origin", context)?,
+        silent: required_f64(profile, "silent", context)?,
+        silent_ft: required_f64(profile, "silent_ft", context)?,
+        weight: required_f64(profile, "weight", context)?,
+    };
+    for (field, value) in [
+        ("spike_origin", profile.spike_origin),
+        ("silent", profile.silent),
+        ("silent_ft", profile.silent_ft),
+        ("weight", profile.weight),
+    ] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(spec_err(format!(
+                "profile `{field}` in {context} must be a fraction in [0, 1], got {value}"
+            )));
+        }
+    }
+    let seed = required(workload, "seed", context)?
+        .as_u64()
+        .ok_or_else(|| spec_err(format!("`seed` in {context} must be an integer")))?;
+    let fine_tuned = match workload.get("fine_tuned") {
+        None => false,
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| spec_err(format!("`fine_tuned` in {context} must be a boolean")))?,
+    };
+    let mut spec = WorkloadSpec::new(name, shape, profile).with_seed(seed);
+    if fine_tuned {
+        spec = spec.fine_tuned();
+    }
+    Ok(spec)
+}
+
+fn accelerator_from_json(spec: &Json, context: &str) -> Result<AcceleratorSpec, ServeError> {
+    if let Some(tag) = spec.as_str() {
+        return match tag {
+            "sparten" => Ok(AcceleratorSpec::SparTen),
+            "gospa" => Ok(AcceleratorSpec::Gospa),
+            "gamma" => Ok(AcceleratorSpec::Gamma),
+            "ptb" => Ok(AcceleratorSpec::Ptb),
+            "stellar" => Ok(AcceleratorSpec::Stellar),
+            "loas" => Ok(AcceleratorSpec::loas()),
+            "loas-ft" => Ok(AcceleratorSpec::loas_ft()),
+            other => Err(spec_err(format!(
+                "unknown accelerator `{other}` in {context} (want sparten|gospa|gamma|loas|loas-ft|ptb|stellar or {{\"loas\": {{...}}}})"
+            ))),
+        };
+    }
+    let overrides = spec.get("loas").ok_or_else(|| {
+        spec_err(format!(
+            "accelerator in {context} must be a tag string or a {{\"loas\": {{...}}}} object"
+        ))
+    })?;
+    let mut config = LoasConfig::table3();
+    let set_usize = |field: &mut usize, key: &str| -> Result<(), ServeError> {
+        if let Some(value) = overrides.get(key) {
+            *field = value
+                .as_usize()
+                .ok_or_else(|| spec_err(format!("loas `{key}` must be an integer")))?;
+        }
+        Ok(())
+    };
+    set_usize(&mut config.tppes, "tppes")?;
+    set_usize(&mut config.timesteps, "timesteps")?;
+    set_usize(&mut config.weight_bits, "weight_bits")?;
+    set_usize(&mut config.bitmask_bits, "bitmask_bits")?;
+    set_usize(&mut config.laggy_adders, "laggy_adders")?;
+    set_usize(&mut config.fifo_depth, "fifo_depth")?;
+    set_usize(&mut config.weight_buffer_bytes, "weight_buffer_bytes")?;
+    set_usize(&mut config.cache_bytes, "cache_bytes")?;
+    set_usize(&mut config.cache_banks, "cache_banks")?;
+    set_usize(&mut config.cache_ways, "cache_ways")?;
+    set_usize(&mut config.cache_line_bytes, "cache_line_bytes")?;
+    set_usize(&mut config.hbm_channels, "hbm_channels")?;
+    set_usize(&mut config.crossbar_bus_bytes, "crossbar_bus_bytes")?;
+    if let Some(value) = overrides.get("hbm_gbps") {
+        config.hbm_gbps = value
+            .as_f64()
+            .ok_or_else(|| spec_err("loas `hbm_gbps` must be a number"))?;
+    }
+    let set_bool = |field: &mut bool, key: &str| -> Result<(), ServeError> {
+        if let Some(value) = overrides.get(key) {
+            *field = value
+                .as_bool()
+                .ok_or_else(|| spec_err(format!("loas `{key}` must be a boolean")))?;
+        }
+        Ok(())
+    };
+    set_bool(
+        &mut config.discard_low_activity_outputs,
+        "discard_low_activity_outputs",
+    )?;
+    set_bool(&mut config.temporal_parallel, "temporal_parallel")?;
+    set_bool(&mut config.two_fast_prefix, "two_fast_prefix")?;
+    Ok(AcceleratorSpec::Loas(config))
+}
+
+/// Builds the paper's headline campaign (the full 7-accelerator fleet over
+/// the four selected layers) as a submittable spec — the serving analogue
+/// of the `campaign` binary's built-in experiment.
+pub fn headline_campaign(quick: bool, seed: u64) -> Campaign {
+    let mut campaign = Campaign::new(if quick {
+        "headline (quick)"
+    } else {
+        "headline"
+    });
+    let layers: Vec<WorkloadSpec> = networks::selected_layers()
+        .iter()
+        .map(|layer| {
+            let layer = if quick {
+                layer.shrunk_for_quick()
+            } else {
+                layer.clone()
+            };
+            WorkloadSpec::from_layer(&layer).with_seed(seed)
+        })
+        .collect();
+    campaign.push_product(&layers, &AcceleratorSpec::headline_fleet());
+    campaign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loas_engine::DEFAULT_SEED;
+
+    #[test]
+    fn headline_round_trips_with_identical_memo_keys() {
+        let original = headline_campaign(true, DEFAULT_SEED);
+        let text = campaign_to_json(&original);
+        let parsed = campaign_from_json(&text).unwrap();
+        assert_eq!(parsed.name, original.name);
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.jobs().iter().zip(parsed.jobs()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.layer_index, b.layer_index);
+            assert_eq!(a.workload.key(), b.workload.key());
+            assert_eq!(a.accelerator, b.accelerator);
+            assert_eq!(a.memo_key(), b.memo_key());
+        }
+        // Serialization is a fixed point after one round trip.
+        assert_eq!(campaign_to_json(&parsed), text);
+    }
+
+    #[test]
+    fn loas_config_overrides_apply_over_table3() {
+        let text = r#"{"name": "t", "jobs": [{
+            "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
+                         "profile": {"spike_origin": 0.823, "silent": 0.741,
+                                     "silent_ft": 0.796, "weight": 0.982},
+                         "seed": 7},
+            "accelerator": {"loas": {"timesteps": 8, "discard_low_activity_outputs": true}}}]}"#;
+        let campaign = campaign_from_json(text).unwrap();
+        let AcceleratorSpec::Loas(config) = &campaign.jobs()[0].accelerator else {
+            panic!("expected a LoAS accelerator");
+        };
+        assert_eq!(config.timesteps, 8);
+        assert!(config.discard_low_activity_outputs);
+        assert_eq!(config.tppes, LoasConfig::table3().tppes);
+        // Auto-generated label (the model reports its FT mode) and
+        // defaulted fields.
+        assert_eq!(
+            campaign.jobs()[0].label,
+            format!("w @ {}", campaign.jobs()[0].accelerator.name())
+        );
+        assert!(!campaign.jobs()[0].workload.fine_tuned);
+    }
+
+    #[test]
+    fn schema_problems_are_described() {
+        for (bad, needle) in [
+            ("{\"jobs\": []}", "missing `name`"),
+            ("{\"name\": \"x\", \"jobs\": [{}]}", "missing `workload`"),
+            (
+                r#"{"name": "x", "jobs": [{
+                    "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
+                                 "profile": {"spike_origin": 82.3, "silent": 0.7,
+                                             "silent_ft": 0.8, "weight": 0.9},
+                                 "seed": 7},
+                    "accelerator": "loas"}]}"#,
+                "fraction in [0, 1]",
+            ),
+            (
+                r#"{"name": "x", "jobs": [{
+                    "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
+                                 "profile": {"spike_origin": 0.8, "silent": 0.7,
+                                             "silent_ft": 0.8, "weight": 0.9},
+                                 "seed": 7},
+                    "accelerator": "warp-drive"}]}"#,
+                "unknown accelerator",
+            ),
+        ] {
+            let error = campaign_from_json(bad).unwrap_err().to_string();
+            assert!(error.contains(needle), "`{error}` lacks `{needle}`");
+        }
+    }
+}

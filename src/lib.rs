@@ -18,7 +18,10 @@
 //!   the dual-sparse ANN reference designs;
 //! * [`engine`] — the deterministic, multi-threaded simulation-campaign
 //!   runner (sharded job execution, prepared-layer caching, streaming
-//!   reports).
+//!   reports, result memoization);
+//! * [`serve`] — the persistent serving front end: durable on-disk job
+//!   queue, content-addressed result memoization, and cross-process shard
+//!   execution with byte-exact report merging.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -44,6 +47,7 @@
 pub use loas_baselines as baselines;
 pub use loas_core as core;
 pub use loas_engine as engine;
+pub use loas_serve as serve;
 pub use loas_sim as sim;
 pub use loas_snn as snn;
 pub use loas_sparse as sparse;
