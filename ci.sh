@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: formatting, lints on the engine/serve crates, release
 # build, the full workspace test suite (tier-1 verify is those two steps),
-# and an end-to-end loas-serve smoke test: enqueue -> run two shard
+# an end-to-end loas-serve smoke test (enqueue -> run two shard
 # processes -> merge -> verify byte-identical to a single-process run ->
-# warm-store replay with zero simulations.
+# warm-store replay with zero simulations), a perf smoke emitting
+# BENCH_PR3.json on the quick fig13 grid, and a kernel-vs-pre-kernel
+# campaign A/B asserting the two-phase sweep is byte-identical to the
+# scalar golden path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,5 +53,20 @@ grep -q "28 memo hits, 0 simulated" "$SMOKE/warm.out"
 echo "-- warm replay vs original report"
 cmp "$SMOKE/single/reports/00001/report.jsonl" "$SMOKE/single/reports/00002/report.jsonl"
 "$SERVE" status "$SMOKE/single"
+
+echo "== two-phase kernel vs pre-kernel golden (LOAS_SWEEP=scalar A/B)"
+# A fresh queue simulated entirely on the pre-kernel scalar sweep (its own
+# memo store, so nothing replays) must reproduce the kernel-path report —
+# including the warm-memo replay above — byte for byte.
+"$SERVE" init "$SMOKE/scalar"
+"$SERVE" enqueue "$SMOKE/scalar" "$SMOKE/headline.json"
+LOAS_SWEEP=scalar "$SERVE" run "$SMOKE/scalar"
+cmp "$SMOKE/scalar/reports/00001/report.jsonl" "$SMOKE/single/reports/00001/report.jsonl"
+
+echo "== perf smoke: bench experiment on the quick fig13 grid"
+LOAS_BENCH_OUT="$SMOKE/BENCH_PR3.json" target/release/repro --quick --workers 1 bench
+grep -q '"format": "loas-bench/1"' "$SMOKE/BENCH_PR3.json"
+grep -q '"speedup"' "$SMOKE/BENCH_PR3.json"
+echo "-- $(grep -o '"speedup": [0-9.]*' "$SMOKE/BENCH_PR3.json" | tail -1) (quick grid; the tracked full-grid record is BENCH_PR3.json at the repo root)"
 
 echo "CI OK"

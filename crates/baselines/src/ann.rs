@@ -4,7 +4,8 @@
 //! (no timesteps).
 
 use crate::common::Machine;
-use loas_core::LayerReport;
+use loas_core::kernel::{PairSweepKernel, RowBlocks, SweepMode};
+use loas_core::{LayerReport, SweepStrategy};
 use loas_sim::TrafficClass;
 use loas_sparse::{Bitmask, WeightFiber, POINTER_BITS};
 use loas_workloads::AnnWorkload;
@@ -24,6 +25,9 @@ pub struct AnnPrepared {
     pub b_fibers: Vec<WeightFiber>,
     /// Per-row non-zero weight counts (for Gustavson).
     pub b_row_nnz: Vec<usize>,
+    /// Structure-of-arrays layout of the activation row masks, consumed by
+    /// the pair-intersection kernel.
+    pub row_blocks: RowBlocks,
 }
 
 impl AnnPrepared {
@@ -40,6 +44,7 @@ impl AnnPrepared {
         let b_row_nnz = (0..shape.k)
             .map(|k| workload.weights.row(k).iter().filter(|&&w| w != 0).count())
             .collect();
+        let row_blocks = RowBlocks::from_masks(&a_row_masks);
         AnnPrepared {
             name: workload.name.clone(),
             shape,
@@ -47,13 +52,23 @@ impl AnnPrepared {
             a_nnz,
             b_fibers,
             b_row_nnz,
+            row_blocks,
         }
     }
 }
 
 /// SparTen running the dual-sparse ANN (two fast prefix-sum circuits; 8-bit
-/// activations need explicit value fetches, unlike spike trains).
+/// activations need explicit value fetches, unlike spike trains). Sweep
+/// strategy from the `LOAS_SWEEP` environment.
 pub fn run_sparten_ann(prepared: &AnnPrepared) -> LayerReport {
+    run_sparten_ann_with(prepared, SweepStrategy::from_env())
+}
+
+/// [`run_sparten_ann`] with an explicit sweep strategy: the kernel path
+/// runs the pair intersections as one pure [`PairSweepKernel`] pass per
+/// tile and folds the per-pair sums; the reference path is the pre-kernel
+/// scalar loop. Reports are byte-identical (asserted in tests).
+pub fn run_sparten_ann_with(prepared: &AnnPrepared, sweep: SweepStrategy) -> LayerReport {
     let shape = prepared.shape;
     let pes = crate::common::BASELINE_PES;
     let chunks = (shape.k.div_ceil(128)).max(1) as u64;
@@ -81,6 +96,12 @@ pub fn run_sparten_ann(prepared: &AnnPrepared) -> LayerReport {
         .write(TrafficClass::Output, (shape.m * shape.n) as u64);
 
     let mut compute = 0u64;
+    let kernel = PairSweepKernel::new(128, None);
+    let b_words: Vec<&[u64]> = prepared
+        .b_fibers
+        .iter()
+        .map(|fiber| fiber.bitmask().words())
+        .collect();
     let mut tile_start = 0usize;
     while tile_start < shape.m {
         let rows = tile_start..(tile_start + pes).min(shape.m);
@@ -90,25 +111,60 @@ pub fn run_sparten_ann(prepared: &AnnPrepared) -> LayerReport {
                 .read_untagged(TrafficClass::Format, shape.k.div_ceil(8) as u64);
             let _ = m;
         }
-        for n in 0..shape.n {
-            let fiber_b = &prepared.b_fibers[n];
-            machine
-                .cache
-                .read_untagged(TrafficClass::Format, shape.k.div_ceil(8) as u64);
-            let mut worst = 0u64;
-            for m in rows.clone() {
-                let matches = prepared.a_row_masks[m]
-                    .and_count(fiber_b.bitmask())
-                    .expect("equal K") as u64;
-                worst = worst.max(chunks + matches + 1);
-                machine.stats.ops.macs += matches;
-                // Both offsets come from fast prefix-sums (two circuits).
-                machine.stats.ops.fast_prefix_cycles += 2 * (chunks + matches);
-                // Matched activations *and* weights are fetched by value.
-                machine.cache.read_untagged(TrafficClass::Input, matches);
-                machine.cache.read_untagged(TrafficClass::Weight, matches);
+        match sweep {
+            SweepStrategy::Kernel => {
+                // Pure phase: one kernel pass over the tile; the per-pair
+                // sums (MACs, prefix-sum activity, matched value fetches)
+                // are linear, so the tile aggregates fold exactly.
+                let tile = kernel.sweep_tile(
+                    &prepared.row_blocks,
+                    rows.clone(),
+                    &b_words,
+                    SweepMode::TemporalParallel,
+                );
+                let row_count = rows.len();
+                for n in 0..shape.n {
+                    machine
+                        .cache
+                        .read_untagged(TrafficClass::Format, shape.k.div_ceil(8) as u64);
+                    let column = &tile.matches[n * row_count..(n + 1) * row_count];
+                    let peak = column.iter().copied().max().unwrap_or(0) as u64;
+                    compute += chunks + peak + 1;
+                }
+                machine.stats.ops.macs += tile.matches_total;
+                machine.stats.ops.fast_prefix_cycles +=
+                    2 * ((shape.n * row_count) as u64 * chunks + tile.matches_total);
+                machine
+                    .cache
+                    .read_untagged(TrafficClass::Input, tile.matches_total);
+                machine
+                    .cache
+                    .read_untagged(TrafficClass::Weight, tile.matches_total);
             }
-            compute += worst;
+            SweepStrategy::Reference => {
+                for n in 0..shape.n {
+                    let fiber_b = &prepared.b_fibers[n];
+                    machine
+                        .cache
+                        .read_untagged(TrafficClass::Format, shape.k.div_ceil(8) as u64);
+                    let mut worst = 0u64;
+                    for m in rows.clone() {
+                        let matches = prepared.a_row_masks[m]
+                            .and_count(fiber_b.bitmask())
+                            .expect("equal K") as u64;
+                        worst = worst.max(chunks + matches + 1);
+                        machine.stats.ops.macs += matches;
+                        // Both offsets come from fast prefix-sums (two
+                        // circuits).
+                        machine.stats.ops.fast_prefix_cycles += 2 * (chunks + matches);
+                        // Matched activations *and* weights are fetched by
+                        // value.
+                        machine.cache.read_untagged(TrafficClass::Input, matches);
+                        machine.cache.read_untagged(TrafficClass::Weight, matches);
+                    }
+                    compute += worst;
+                }
+            }
         }
         machine
             .cache
@@ -221,6 +277,15 @@ mod tests {
             "gamma {} vs sparten {}",
             gamma.stats.dram.total(),
             sparten.stats.dram.total()
+        );
+    }
+
+    #[test]
+    fn ann_kernel_and_reference_sweeps_are_byte_identical() {
+        let p = prepared();
+        assert_eq!(
+            run_sparten_ann_with(&p, SweepStrategy::Kernel).to_portable(),
+            run_sparten_ann_with(&p, SweepStrategy::Reference).to_portable()
         );
     }
 

@@ -15,9 +15,23 @@
 //!   timestep (no temporal reuse of matched pairs).
 //! * Between timestep rounds the join pipeline drains and restarts
 //!   ([`SparTenParams::timestep_restart_cycles`]).
+//!
+//! # Two-phase execution (simulator performance)
+//!
+//! The per-`(row, column, timestep)` AND-popcount sweep only enters the
+//! report through sums that are linear in the per-timestep match counts,
+//! so the kernel strategy replaces the whole `O(M·N·T·K/64)` sweep with
+//! the `O(nnz)` identity `Σ_{n,t} |A_t[m] ∧ B[n]| = Σ_k fires(m, k) ·
+//! rowNNZ_B(k)` folded per tile, then replays the tag-accurate cache
+//! accesses in the original order. [`loas_core::SweepStrategy::Reference`]
+//! preserves the pre-kernel scalar loop; both produce byte-identical
+//! reports (asserted in tests). The kernel shortcut requires byte-aligned
+//! weights (`weight_bits % 8 == 0`, true for the paper configuration) so
+//! per-access byte rounding stays exact under aggregation; other widths
+//! fall back to the scalar loop.
 
 use crate::common::{Machine, BASELINE_PES};
-use loas_core::{Accelerator, LayerReport, PreparedLayer};
+use loas_core::{Accelerator, LayerReport, PreparedLayer, SweepStrategy};
 use loas_sim::{Cycle, TrafficClass};
 use loas_sparse::POINTER_BITS;
 
@@ -47,15 +61,39 @@ impl Default for SparTenParams {
 }
 
 /// The SparTen-SNN baseline model.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparTenSnn {
     params: SparTenParams,
+    sweep: SweepStrategy,
+}
+
+impl Default for SparTenSnn {
+    /// Paper parameters, sweep strategy from the `LOAS_SWEEP` environment.
+    fn default() -> Self {
+        SparTenSnn::new(SparTenParams::default())
+    }
 }
 
 impl SparTenSnn {
     /// Creates the model with default (paper) parameters.
     pub fn new(params: SparTenParams) -> Self {
-        SparTenSnn { params }
+        SparTenSnn {
+            params,
+            sweep: SweepStrategy::from_env(),
+        }
+    }
+
+    /// Selects the pure-phase sweep strategy explicitly (overriding the
+    /// `LOAS_SWEEP` environment default).
+    pub fn with_sweep(mut self, sweep: SweepStrategy) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Whether the aggregated kernel shortcut is exact for these
+    /// parameters (per-timestep weight-byte rounding must be linear).
+    fn kernel_path(&self) -> bool {
+        self.sweep == SweepStrategy::Kernel && self.params.weight_bits.is_multiple_of(8)
     }
 }
 
@@ -119,33 +157,66 @@ impl Accelerator for SparTenSnn {
             // the tile has fewer than 16 rows: account work at pair
             // granularity divided across PEs.
             let mut tile_work = 0u64;
-            for (n, fiber_b) in layer.b_fibers.iter().enumerate() {
-                let bm_b = fiber_b.bitmask();
+            if self.kernel_path() {
+                // Pure phase: the tile's total per-timestep match count in
+                // O(nnz_tile) — every fired (m, k, t) bit meets
+                // rowNNZ_B(k) columns.
+                let fired_tile: u64 = rows
+                    .clone()
+                    .flat_map(|m| layer.a_fibers[m].iter())
+                    .map(|(k, word)| word.fire_count() as u64 * layer.b_row_nnz[k] as u64)
+                    .sum();
+                // Traffic phase: the tag-accurate bm-B rounds replay in the
+                // original order; the per-(pair, timestep) weight fetches
+                // and op counts are commutative sums, folded per tile.
                 let b_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
-                // bm-B is re-broadcast once per timestep round (the join
-                // unit scans it anew each round); rounds that fall out of
-                // the cache refetch from DRAM.
-                for _t in 0..shape.t {
-                    let missed =
-                        machine
-                            .cache
-                            .access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
-                    machine.hbm.read(TrafficClass::Format, missed * line);
+                for &addr in b_addr.iter().take(shape.n) {
+                    for _t in 0..shape.t {
+                        let missed =
+                            machine
+                                .cache
+                                .access_range(addr, b_bm_bytes, TrafficClass::Format);
+                        machine.hbm.read(TrafficClass::Format, missed * line);
+                    }
                 }
-                for m in rows.clone() {
-                    for plane in planes {
-                        let matches_t = plane.row(m).and_count(bm_b).expect("equal K") as u64;
-                        tile_work += chunks + matches_t + p.timestep_restart_cycles + 1; // LIF step
+                let rounds = (rows.len() * shape.n * shape.t) as u64;
+                tile_work += rounds * (chunks + p.timestep_restart_cycles + 1) + fired_tile;
+                machine.cache.read_untagged(
+                    TrafficClass::Weight,
+                    fired_tile * (p.weight_bits / 8) as u64,
+                );
+                machine.stats.ops.accumulates += fired_tile;
+                machine.stats.ops.fast_prefix_cycles += rounds * chunks + fired_tile;
+                machine.stats.ops.lif_updates += rounds;
+            } else {
+                for (n, fiber_b) in layer.b_fibers.iter().enumerate() {
+                    let bm_b = fiber_b.bitmask();
+                    let b_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
+                    // bm-B is re-broadcast once per timestep round (the join
+                    // unit scans it anew each round); rounds that fall out of
+                    // the cache refetch from DRAM.
+                    for _t in 0..shape.t {
+                        let missed =
+                            machine
+                                .cache
+                                .access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
+                        machine.hbm.read(TrafficClass::Format, missed * line);
+                    }
+                    for m in rows.clone() {
+                        for plane in planes {
+                            let matches_t = plane.row(m).and_count(bm_b).expect("equal K") as u64;
+                            tile_work += chunks + matches_t + p.timestep_restart_cycles + 1; // LIF step
 
-                        // Matched weights fetched per timestep round: no
-                        // temporal reuse (Fig. 4's inefficiency).
-                        machine.cache.read_untagged(
-                            TrafficClass::Weight,
-                            (matches_t * p.weight_bits as u64).div_ceil(8),
-                        );
-                        machine.stats.ops.accumulates += matches_t;
-                        machine.stats.ops.fast_prefix_cycles += chunks + matches_t;
-                        machine.stats.ops.lif_updates += 1;
+                            // Matched weights fetched per timestep round: no
+                            // temporal reuse (Fig. 4's inefficiency).
+                            machine.cache.read_untagged(
+                                TrafficClass::Weight,
+                                (matches_t * p.weight_bits as u64).div_ceil(8),
+                            );
+                            machine.stats.ops.accumulates += matches_t;
+                            machine.stats.ops.fast_prefix_cycles += chunks + matches_t;
+                            machine.stats.ops.lif_updates += 1;
+                        }
                     }
                 }
             }
@@ -212,6 +283,35 @@ mod tests {
         let sparten = SparTenSnn::default().run_layer(&l);
         let loas = Loas::default().run_layer(&l);
         assert!(sparten.stats.ops.fast_prefix_cycles > loas.stats.ops.fast_prefix_cycles);
+    }
+
+    #[test]
+    fn kernel_and_reference_sweeps_are_byte_identical() {
+        // The O(nnz) aggregated sweep must reproduce the pre-kernel
+        // per-(pair, timestep) loop bit for bit.
+        let l = layer();
+        let golden = SparTenSnn::default()
+            .with_sweep(SweepStrategy::Reference)
+            .run_layer(&l)
+            .to_portable();
+        let kernel = SparTenSnn::default()
+            .with_sweep(SweepStrategy::Kernel)
+            .run_layer(&l)
+            .to_portable();
+        assert_eq!(kernel, golden);
+    }
+
+    #[test]
+    fn odd_weight_widths_fall_back_to_the_scalar_sweep() {
+        let model = SparTenSnn::new(SparTenParams {
+            weight_bits: 6,
+            ..SparTenParams::default()
+        })
+        .with_sweep(SweepStrategy::Kernel);
+        assert!(!model.kernel_path(), "6-bit weights round per access");
+        assert!(SparTenSnn::default()
+            .with_sweep(SweepStrategy::Kernel)
+            .kernel_path());
     }
 
     #[test]

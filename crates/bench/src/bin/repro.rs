@@ -7,7 +7,9 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: repro [--quick] [--csv <dir>] [--workers N] [--store <dir>] \
                      [all | table1 table2 table3 table4 fig5 fig11 fig12 fig13 fig14 fig15 \
-                     fig16 fig17 fig18 fig19 ablations ...]";
+                     fig16 fig17 fig18 fig19 ablations sweeps bench ...]\n\
+                     (`all` runs every paper experiment; `bench` — the simulator perf \
+                     baseline writing BENCH_PR3.json — must be requested by name)";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +50,7 @@ fn main() {
         wanted = experiments::ALL_EXPERIMENTS
             .iter()
             .map(|(name, _)| (*name).to_owned())
+            .filter(|name| !experiments::EXCLUDED_FROM_ALL.contains(&name.as_str()))
             .collect();
     }
     let mut ctx = Context::with_workers(quick, workers);

@@ -4,6 +4,7 @@ use crate::context::Context;
 use crate::report::Table;
 
 pub mod ablations;
+pub mod bench;
 pub mod fig05;
 pub mod fig11;
 pub mod fig12;
@@ -43,7 +44,14 @@ pub const ALL_EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("fig19", fig19::run),
     ("ablations", ablations::run),
     ("sweeps", sweeps::run),
+    // Simulator-performance baseline, not a paper figure: excluded from
+    // `repro all` (it re-times the fig13 grid on both sweep strategies);
+    // run explicitly with `repro bench`.
+    ("bench", bench::run),
 ];
+
+/// Experiments excluded when `all` is requested (run them by name).
+pub const EXCLUDED_FROM_ALL: &[&str] = &["bench"];
 
 #[cfg(test)]
 mod tests {

@@ -73,18 +73,23 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, name: &str) {
+    fn median(&mut self) -> Option<Duration> {
         if self.samples.is_empty() {
-            println!("{name:<40} (no samples)");
-            return;
+            return None;
         }
         self.samples.sort_unstable();
-        let median = self.samples[self.samples.len() / 2];
-        println!(
-            "{name:<40} median {:>12.3} µs over {} iters",
-            median.as_secs_f64() * 1e6,
-            self.samples.len()
-        );
+        Some(self.samples[self.samples.len() / 2])
+    }
+
+    fn report(&mut self, name: &str) {
+        match self.median() {
+            None => println!("{name:<40} (no samples)"),
+            Some(median) => println!(
+                "{name:<40} median {:>12.3} µs over {} iters",
+                median.as_secs_f64() * 1e6,
+                self.samples.len()
+            ),
+        }
     }
 }
 
@@ -132,6 +137,22 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
         BenchmarkGroup { criterion: self }
+    }
+
+    /// Shim extension (not in real criterion): runs `f` like
+    /// [`Criterion::bench_function`] but *returns* the median
+    /// per-iteration wall time, so programmatic harnesses (the perf
+    /// trajectory experiments) can persist measured numbers instead of
+    /// scraping stdout. Returns `None` when the closure never iterated.
+    pub fn measure_median<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> Option<Duration> {
+        let mut bencher = Bencher::new(self.measurement_time);
+        f(&mut bencher);
+        bencher.report(name);
+        bencher.median()
     }
 }
 
@@ -194,6 +215,15 @@ mod tests {
             })
         });
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn measure_median_returns_a_sample() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let median = c.measure_median("spin", |b| b.iter(|| std::hint::black_box(3 * 7)));
+        assert!(median.is_some());
+        let idle = c.measure_median("never-iterates", |_b| {});
+        assert!(idle.is_none());
     }
 
     #[test]

@@ -9,6 +9,19 @@
 //! all `T` output spikes in one shot and the compressor packs them back
 //! into fibers. Fiber-B loads are double-buffered behind compute.
 //!
+//! # Two-phase execution (simulator performance)
+//!
+//! `run_layer` runs in two phases. The **pure compute phase** hands the
+//! whole pair-intersection sweep to the [`crate::kernel`] module: a
+//! [`PairSweepKernel`] streams every row pair of a tile through the
+//! workload's precomputed [`RowBlocks`] structure-of-arrays layout (with
+//! fiber-B words hoisted), optionally fanned out across row tiles on
+//! scoped worker threads. The **sequential traffic phase** then replays
+//! the per-pair counts through the HBM/SRAM/crossbar models in the exact
+//! pre-kernel order, so reports are byte-identical by construction for any
+//! [`SweepStrategy`] and worker count (asserted via the portable
+//! serialization in this crate's tests).
+//!
 //! # Traffic accounting (what the paper's Figs. 13-14 count)
 //!
 //! *Off-chip*: compressed `A` (packed payload [`Input`] + bitmasks/pointers
@@ -25,9 +38,12 @@
 //!
 //! [`Input`]: loas_sim::TrafficClass::Input
 //! [`Format`]: loas_sim::TrafficClass::Format
+//! [`RowBlocks`]: crate::kernel::RowBlocks
 
 use crate::compressor::Compressor;
 use crate::config::LoasConfig;
+use crate::inner_join::JoinScratch;
+use crate::kernel::{fired_grand_total, PairSweepKernel, SweepMode, TileSweep};
 use crate::metrics::{Accelerator, LayerReport};
 use crate::prepared::PreparedLayer;
 use crate::tppe::Tppe;
@@ -35,7 +51,46 @@ use loas_sim::{
     ClockDomain, Crossbar, Cycle, EnergyModel, HbmModel, SimStats, SramCache, TrafficClass,
 };
 use loas_snn::SpikeTensor;
-use loas_sparse::{Bitmask, POINTER_BITS};
+use loas_sparse::{Bitmask, PackedSpikes, POINTER_BITS};
+
+/// How a model computes its pure pair-intersection phase.
+///
+/// Both strategies produce byte-identical reports; [`SweepStrategy::Kernel`]
+/// is the optimized default and [`SweepStrategy::Reference`] preserves the
+/// pre-kernel scalar code path for cross-checking and as the benchmark
+/// baseline every perf PR is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepStrategy {
+    /// The cache-friendly [`PairSweepKernel`] sweep over the prepared
+    /// structure-of-arrays layout, parallelizable across row tiles.
+    #[default]
+    Kernel,
+    /// The pre-kernel scalar path: per-pair bitmask chunk iteration plus
+    /// per-timestep `and_count`s, sequential.
+    Reference,
+}
+
+impl SweepStrategy {
+    /// Resolves the strategy from the `LOAS_SWEEP` environment variable:
+    /// `scalar` / `reference` select the pre-kernel path (letting CI and
+    /// A/B runs toggle whole campaigns without plumbing flags), `kernel` /
+    /// unset the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value: a typo here would silently turn the
+    /// scalar-vs-kernel golden A/B into a kernel-vs-kernel no-op, so
+    /// unknown toggles fail loud instead.
+    pub fn from_env() -> Self {
+        match std::env::var("LOAS_SWEEP").ok().as_deref() {
+            Some("scalar") | Some("reference") => SweepStrategy::Reference,
+            Some("kernel") | Some("") | None => SweepStrategy::Kernel,
+            Some(other) => panic!(
+                "unknown LOAS_SWEEP value `{other}` (expected `kernel`, `scalar`, or `reference`)"
+            ),
+        }
+    }
+}
 
 /// The LoAS accelerator simulator.
 ///
@@ -58,6 +113,8 @@ pub struct Loas {
     config: LoasConfig,
     energy: EnergyModel,
     verify_outputs: bool,
+    sweep: SweepStrategy,
+    intra_workers: usize,
 }
 
 impl Loas {
@@ -67,6 +124,8 @@ impl Loas {
             config,
             energy: EnergyModel::default(),
             verify_outputs: false,
+            sweep: SweepStrategy::from_env(),
+            intra_workers: 1,
         }
     }
 
@@ -77,6 +136,21 @@ impl Loas {
         self
     }
 
+    /// Selects the pure-phase sweep strategy explicitly (overriding the
+    /// `LOAS_SWEEP` environment default).
+    pub fn with_sweep(mut self, sweep: SweepStrategy) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Sets the intra-layer worker budget: the pure compute phase fans row
+    /// tiles out over up to this many scoped threads. Reports are
+    /// byte-identical for every value; `1` (the default) runs inline.
+    pub fn with_intra_workers(mut self, workers: usize) -> Self {
+        self.intra_workers = workers.max(1);
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &LoasConfig {
         &self.config
@@ -84,6 +158,29 @@ impl Loas {
 
     fn chunk_words(&self) -> usize {
         self.config.bitmask_bits / 64
+    }
+
+    fn fifo_depth(&self) -> Option<usize> {
+        // The two-fast-prefix ablation variant has both offsets ready every
+        // cycle: no FIFO buffering, no backpressure — at double the
+        // prefix-sum area/power (Section IV-C).
+        if self.config.two_fast_prefix {
+            None
+        } else {
+            Some(self.config.fifo_depth)
+        }
+    }
+
+    fn sweep_kernel(&self) -> PairSweepKernel {
+        PairSweepKernel::new(self.config.bitmask_bits.max(64), self.fifo_depth())
+    }
+
+    fn sweep_mode(&self) -> SweepMode {
+        if self.config.temporal_parallel {
+            SweepMode::TemporalParallel
+        } else {
+            SweepMode::SequentialT
+        }
     }
 
     /// Per-pair cycle/op metrics from word-level popcounts.
@@ -99,59 +196,76 @@ impl Loas {
     /// "new fetch") and is exposed once per row tile in `run_layer`.
     fn pair_metrics(&self, bm_a: &Bitmask, bm_b: &Bitmask) -> PairMetrics {
         let chunk_words = self.chunk_words().max(1);
-        let a = bm_a.words();
-        let b = bm_b.words();
+        let fifo = self.fifo_depth().map_or(u64::MAX, |d| d as u64);
         let mut matches = 0u64;
-        let mut cycles = 0u64;
-        let mut fast = 0u64;
         let mut laggy_chunks = 0u64;
         let mut stalls = 0u64;
-        // The two-fast-prefix ablation variant has both offsets ready every
-        // cycle: no FIFO buffering, no backpressure — at double the
-        // prefix-sum area/power (Section IV-C).
-        let fifo = if self.config.two_fast_prefix {
-            u64::MAX
-        } else {
-            self.config.fifo_depth as u64
-        };
-        let words = a.len().max(b.len());
         let mut chunks_scanned = 0u64;
-        let mut w = 0;
-        while w < words || w == 0 {
-            let mut chunk_matches = 0u64;
-            for i in w..(w + chunk_words).min(words) {
-                let aw = a.get(i).copied().unwrap_or(0);
-                let bw = b.get(i).copied().unwrap_or(0);
-                chunk_matches += (aw & bw).count_ones() as u64;
-            }
+        for chunk_matches in bm_a.chunked_and_counts(bm_b, chunk_words) {
             matches += chunk_matches;
             chunks_scanned += 1;
-            let backpressure = chunk_matches.saturating_sub(fifo);
-            fast += 1 + chunk_matches;
-            stalls += backpressure;
+            stalls += chunk_matches.saturating_sub(fifo);
             if chunk_matches > 0 {
                 laggy_chunks += 1;
             }
-            w += chunk_words;
-            if words == 0 {
-                break;
-            }
         }
-        // Pipelined latency: streaming and draining overlap.
-        cycles += chunks_scanned.max(matches + stalls);
-        let (fast_prefix_cycles, laggy_prefix_cycles) = if self.config.two_fast_prefix {
-            (2 * fast, 0)
-        } else {
-            (fast, laggy_chunks * self.config.laggy_latency_cycles())
-        };
+        // Pipelined latency: streaming and draining overlap. Fast/laggy
+        // prefix-sum activity (`chunks + matches` per pair, laggy sweeps
+        // per active chunk) is folded into the stats from tile aggregates.
         PairMetrics {
             matches,
             chunks: chunks_scanned,
-            cycles,
-            fast_prefix_cycles,
-            laggy_prefix_cycles,
+            cycles: chunks_scanned.max(matches + stalls),
+            laggy_chunks,
             stall_cycles: stalls,
         }
+    }
+
+    /// The pre-kernel scalar sweep: fills the same per-tile results as
+    /// [`PairSweepKernel::sweep_layer`] from per-pair [`Loas::pair_metrics`]
+    /// calls plus per-timestep plane `and_count`s, sequentially.
+    fn reference_sweep(&self, layer: &PreparedLayer, mode: SweepMode) -> Vec<TileSweep> {
+        let shape = layer.shape;
+        let planes = layer.workload.spikes.planes();
+        let tppes = self.config.tppes;
+        let mut sweeps = Vec::with_capacity(shape.m.div_ceil(tppes.max(1)));
+        let mut tile_start = 0usize;
+        while tile_start < shape.m {
+            let tile_end = (tile_start + tppes).min(shape.m);
+            let rows = tile_start..tile_end;
+            let row_count = rows.len();
+            let mut sweep = TileSweep {
+                rows: rows.clone(),
+                matches: vec![0u32; row_count * shape.n],
+                worst: vec![0u64; shape.n],
+                ..TileSweep::default()
+            };
+            for (n, fiber_b) in layer.b_fibers.iter().enumerate() {
+                let mut worst = 0u64;
+                for (r, m) in rows.clone().enumerate() {
+                    let metrics = self.pair_metrics(layer.a_mask(m), fiber_b.bitmask());
+                    sweep.matches[n * row_count + r] = metrics.matches as u32;
+                    sweep.matches_total += metrics.matches;
+                    sweep.stall_total += metrics.stall_cycles;
+                    sweep.laggy_chunk_total += metrics.laggy_chunks;
+                    let mut sequential_cycles = 0u64;
+                    for plane in planes {
+                        let matches_t =
+                            plane.row(m).and_count(fiber_b.bitmask()).expect("equal K") as u64;
+                        sweep.fired_total += matches_t;
+                        sequential_cycles += metrics.chunks.max(matches_t) + 1; // + LIF step
+                    }
+                    worst = match mode {
+                        SweepMode::TemporalParallel => worst.max(metrics.cycles + 1), // + P-LIF
+                        SweepMode::SequentialT => worst.max(sequential_cycles),
+                    };
+                }
+                sweep.worst[n] = worst;
+            }
+            sweeps.push(sweep);
+            tile_start = tile_end;
+        }
+        sweeps
     }
 }
 
@@ -160,8 +274,7 @@ struct PairMetrics {
     matches: u64,
     chunks: u64,
     cycles: u64,
-    fast_prefix_cycles: u64,
-    laggy_prefix_cycles: u64,
+    laggy_chunks: u64,
     stall_cycles: u64,
 }
 
@@ -187,6 +300,10 @@ impl Accelerator for Loas {
         name
     }
 
+    fn set_intra_workers(&mut self, workers: usize) {
+        self.intra_workers = workers.max(1);
+    }
+
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         let shape = layer.shape;
         assert_eq!(
@@ -207,7 +324,40 @@ impl Accelerator for Loas {
         let compressor = Compressor::new(&self.config);
         let mut stats = SimStats::new();
 
-        // ---- Off-chip traffic: the packed A payload streams in once
+        // ---- Phase 1 (pure compute): the pair-intersection sweep, with no
+        // memory-system state touched, fanned out across row tiles.
+        let mode = self.sweep_mode();
+        let tile_sweeps: Vec<TileSweep> = match self.sweep {
+            SweepStrategy::Kernel => {
+                let b_words: Vec<&[u64]> = layer
+                    .b_fibers
+                    .iter()
+                    .map(|fiber| fiber.bitmask().words())
+                    .collect();
+                self.sweep_kernel().sweep_layer(
+                    &layer.row_blocks,
+                    &b_words,
+                    self.config.tppes,
+                    mode,
+                    self.intra_workers,
+                )
+            }
+            SweepStrategy::Reference => self.reference_sweep(layer, mode),
+        };
+        // Per-row per-timestep firing counts enter the report only through
+        // global sums: corrections = T * matches - fired. The kernel path
+        // computes the layer total in O(K) instead of sweeping plane rows.
+        let fired_total: u64 = match (mode, self.sweep) {
+            (SweepMode::TemporalParallel, SweepStrategy::Kernel) => {
+                fired_grand_total(&layer.col_spikes, &layer.b_row_nnz)
+            }
+            _ => tile_sweeps.iter().map(|sweep| sweep.fired_total).sum(),
+        };
+
+        // ---- Phase 2 (sequential traffic): off-chip streaming plus the
+        // tag-accurate cache replayed in the exact pre-kernel order.
+
+        // Off-chip traffic: the packed A payload streams in once
         // (compulsory); bitmasks and weight fibers are charged miss-driven
         // through the FiberCache tags below, so capacity behaviour (not an
         // assumption) decides refetches.
@@ -217,7 +367,7 @@ impl Accelerator for Loas {
         hbm.read_bits(TrafficClass::Weight, b_payload_bits);
         let line = self.config.cache_line_bytes as u64;
 
-        // ---- Address map for the tag-accurate cache: A fibers then B.
+        // Address map for the tag-accurate cache: A fibers then B.
         let mut a_addr = Vec::with_capacity(shape.m);
         let mut addr = 0u64;
         for fiber in &layer.a_fibers {
@@ -230,25 +380,23 @@ impl Accelerator for Loas {
             addr += fiber.storage_bits(self.config.weight_bits).div_ceil(8) as u64;
         }
 
-        // Per-row per-timestep firing masks are needed for correction
-        // counts: corrections = T * matches - sum_t |bm_a_t & bm_b|.
-        let planes = layer.workload.spikes.planes();
-
-        let tppes = self.config.tppes;
         let mut compute = 0u64;
         let mut verified_output = if self.verify_outputs {
             Some(SpikeTensor::zeros(shape.m, shape.n, shape.t))
         } else {
             None
         };
+        // Scratch state reused across every verified pair and output row
+        // (no per-pair allocation churn on the bit-exact datapath).
+        let mut join_scratch = JoinScratch::new(shape.t);
+        let mut row_words_buf: Vec<PackedSpikes> = Vec::new();
 
-        let mut tile_start = 0usize;
-        while tile_start < shape.m {
-            let tile_end = (tile_start + tppes).min(shape.m);
-            let rows = tile_start..tile_end;
+        for sweep in &tile_sweeps {
+            let rows = sweep.rows.clone();
+            let row_count = rows.len();
             // Load bm-A (+ held payload stream) for each TPPE in the tile:
             // one cache pass per row per layer.
-            let mut a_scatter = Vec::with_capacity(rows.len());
+            let mut a_scatter = Vec::with_capacity(row_count);
             for m in rows.clone() {
                 let bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
                 let missed = cache.access_range(a_addr[m], bm_bytes, TrafficClass::Format);
@@ -273,47 +421,25 @@ impl Accelerator for Loas {
                     tppe.b_load_cycles(fiber_b.nnz()) + crossbar.broadcast_cycles(b_bm_bytes).get();
 
                 // All TPPEs in the tile join against the same fiber-B; the
-                // tile advances at the slowest TPPE (synchronous broadcast).
-                let mut worst = 0u64;
-                for m in rows.clone() {
-                    let metrics = self.pair_metrics(layer.a_mask(m), fiber_b.bitmask());
+                // tile advances at the slowest TPPE (synchronous broadcast,
+                // precomputed by the sweep as `worst`).
+                for (r, m) in rows.clone().enumerate() {
+                    let matches = sweep.matches[n * row_count + r] as u64;
                     // Matched packed words of A fetched on demand: exact
                     // bytes ledgered, lines tagged (resident payload hits).
-                    let payload_bytes = (metrics.matches * shape.t as u64).div_ceil(8);
+                    let payload_bytes = (matches * shape.t as u64).div_ceil(8);
                     cache.read_untagged(TrafficClass::Input, payload_bytes);
                     let a_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
                     cache.probe_range(a_addr[m] + a_bm_bytes, payload_bytes);
-                    // Per-timestep match counts: corrections in FTP mode,
-                    // the per-round work in the sequential-T ablation.
-                    let mut fired: u64 = 0;
-                    let mut sequential_cycles = 0u64;
-                    for plane in planes {
-                        let matches_t =
-                            plane.row(m).and_count(fiber_b.bitmask()).expect("equal K") as u64;
-                        fired += matches_t;
-                        sequential_cycles += metrics.chunks.max(matches_t) + 1; // + LIF step
-                    }
-                    if self.config.temporal_parallel {
-                        let corrections = metrics.matches * shape.t as u64 - fired;
-                        stats.ops.accumulates += metrics.matches + corrections;
-                        stats.ops.fast_prefix_cycles += metrics.fast_prefix_cycles;
-                        stats.ops.laggy_prefix_cycles += metrics.laggy_prefix_cycles;
-                        stats.stall_cycles += Cycle(metrics.stall_cycles);
-                        worst = worst.max(metrics.cycles + 1); // + P-LIF one-shot
-                    } else {
-                        // Sequential-T ablation: same compression and
-                        // hardware, but each timestep re-runs the join and
-                        // accumulates directly (no pseudo/corrections, no
-                        // laggy circuit involved).
-                        stats.ops.accumulates += fired;
-                        stats.ops.fast_prefix_cycles += shape.t as u64 * metrics.chunks + fired;
-                        worst = worst.max(sequential_cycles);
-                    }
-                    stats.ops.lif_updates += shape.t as u64;
 
                     if let Some(out) = verified_output.as_mut() {
-                        let outcome = tppe.process(&layer.a_fibers[m], fiber_b, layer.lif());
-                        debug_assert_eq!(outcome.join.matches, metrics.matches);
+                        let outcome = tppe.process_with(
+                            &layer.a_fibers[m],
+                            fiber_b,
+                            layer.lif(),
+                            &mut join_scratch,
+                        );
+                        debug_assert_eq!(outcome.join.matches, matches);
                         for t in 0..shape.t {
                             if outcome.plif.spikes.fires_at(t) {
                                 out.set(m, n, t, true);
@@ -323,7 +449,7 @@ impl Accelerator for Loas {
                 }
                 // Double-buffered fiber-B: the previous load overlaps this
                 // compute; expose whichever is longer.
-                compute += worst.max(prev_b_load);
+                compute += sweep.worst[n].max(prev_b_load);
                 prev_b_load = b_load;
             }
             compute += prev_b_load.min(1); // drain
@@ -347,25 +473,52 @@ impl Accelerator for Loas {
                 if let Some(out) = verified_output.as_ref() {
                     // Exercise the real compressor datapath (discard filter
                     // included) on the verified outputs.
-                    let words: Vec<_> = (0..shape.n)
-                        .map(|n| {
-                            let mut w =
-                                loas_sparse::PackedSpikes::silent(shape.t).expect("t in range");
-                            for t in 0..shape.t {
-                                if out.get(m, n, t) {
-                                    w.set(t, true);
-                                }
+                    row_words_buf.clear();
+                    row_words_buf.extend((0..shape.n).map(|n| {
+                        let mut w = PackedSpikes::silent(shape.t).expect("t in range");
+                        for t in 0..shape.t {
+                            if out.get(m, n, t) {
+                                w.set(t, true);
                             }
-                            w
-                        })
-                        .collect();
-                    let _ = compressor.compress_row(&words);
+                        }
+                        w
+                    }));
+                    let _ = compressor.compress_row(&row_words_buf);
                 }
                 cache.write(TrafficClass::Output, out_row_bits.div_ceil(8));
                 hbm.write(TrafficClass::Output, out_row_bits.div_ceil(8));
             }
-            tile_start = tile_end;
         }
+
+        // ---- Fold the sweep's op-count aggregates into the stats. Every
+        // term is a commutative sum over pairs, so tile-level aggregation
+        // reproduces the per-pair accumulation of the pre-kernel loop
+        // exactly (asserted byte-identical in tests).
+        let pairs = (shape.m * shape.n) as u64;
+        let chunks_per_pair = self.sweep_kernel().chunks_for(shape.k.div_ceil(64));
+        let matches_total: u64 = tile_sweeps.iter().map(|s| s.matches_total).sum();
+        let stall_total: u64 = tile_sweeps.iter().map(|s| s.stall_total).sum();
+        let laggy_chunk_total: u64 = tile_sweeps.iter().map(|s| s.laggy_chunk_total).sum();
+        let fast_raw = pairs * chunks_per_pair + matches_total;
+        if self.config.temporal_parallel {
+            let corrections = matches_total * shape.t as u64 - fired_total;
+            stats.ops.accumulates += matches_total + corrections;
+            if self.config.two_fast_prefix {
+                stats.ops.fast_prefix_cycles += 2 * fast_raw;
+            } else {
+                stats.ops.fast_prefix_cycles += fast_raw;
+                stats.ops.laggy_prefix_cycles +=
+                    laggy_chunk_total * self.config.laggy_latency_cycles();
+            }
+            stats.stall_cycles += Cycle(stall_total);
+        } else {
+            // Sequential-T ablation: same compression and hardware, but
+            // each timestep re-runs the join and accumulates directly (no
+            // pseudo/corrections, no laggy circuit involved).
+            stats.ops.accumulates += fired_total;
+            stats.ops.fast_prefix_cycles += shape.t as u64 * pairs * chunks_per_pair + fired_total;
+        }
+        stats.ops.lif_updates += pairs * shape.t as u64;
 
         // ---- Roofline: compute overlapped with off-chip streaming and
         // with aggregate banked-SRAM bandwidth (banks x 16-byte ports).
@@ -507,5 +660,58 @@ mod tests {
         // on paper-sized layers the ablation harness measures <1%.
         let penalty = laggy.stats.cycles.get() as f64 / two.stats.cycles.get().max(1) as f64;
         assert!(penalty < 1.15, "throughput penalty {penalty}");
+    }
+
+    /// Every LoAS variant must produce byte-identical portable reports for
+    /// the kernel and pre-kernel sweep strategies, at any intra-layer
+    /// worker count — the two-phase refactor's core guarantee.
+    #[test]
+    fn kernel_and_reference_sweeps_are_byte_identical() {
+        let layer = small_layer();
+        let configs = [
+            LoasConfig::table3(),
+            LoasConfig::builder().temporal_parallel(false).build(),
+            LoasConfig::builder().two_fast_prefix(true).build(),
+            LoasConfig::builder()
+                .discard_low_activity_outputs(true)
+                .build(),
+        ];
+        for config in configs {
+            let golden = Loas::new(config.clone())
+                .with_sweep(SweepStrategy::Reference)
+                .run_layer(&layer)
+                .to_portable();
+            for workers in [1usize, 2, 4] {
+                let report = Loas::new(config.clone())
+                    .with_sweep(SweepStrategy::Kernel)
+                    .with_intra_workers(workers)
+                    .run_layer(&layer)
+                    .to_portable();
+                assert_eq!(
+                    report,
+                    golden,
+                    "strategy/worker divergence for {} at {workers} workers",
+                    Loas::new(config.clone()).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_strategy_env_parsing() {
+        // from_env reads the process environment; the mapping itself is
+        // what needs pinning (set_var would race the parallel harness).
+        assert_eq!(SweepStrategy::default(), SweepStrategy::Kernel);
+        let map = |v: Option<&str>| match v {
+            Some("scalar") | Some("reference") => Some(SweepStrategy::Reference),
+            Some("kernel") | Some("") | None => Some(SweepStrategy::Kernel),
+            Some(_) => None, // from_env panics: a typo must not pass as Kernel
+        };
+        assert_eq!(map(Some("scalar")), Some(SweepStrategy::Reference));
+        assert_eq!(map(Some("reference")), Some(SweepStrategy::Reference));
+        assert_eq!(map(Some("kernel")), Some(SweepStrategy::Kernel));
+        assert_eq!(map(Some("")), Some(SweepStrategy::Kernel));
+        assert_eq!(map(None), Some(SweepStrategy::Kernel));
+        assert_eq!(map(Some("Scalar")), None, "case typos fail loud");
     }
 }

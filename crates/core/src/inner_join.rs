@@ -57,6 +57,43 @@ pub struct JoinOutcome {
     pub overflows: u64,
 }
 
+/// Reusable scratch state for [`InnerJoinUnit::join_with`]: the
+/// accumulator bank and the per-chunk match buffer survive across pairs,
+/// so the verified datapath allocates nothing per output neuron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinScratch {
+    bank: AccumulatorBank,
+    per_chunk_matches: Vec<u64>,
+    timesteps: usize,
+}
+
+impl JoinScratch {
+    /// Scratch sized for `timesteps` accumulator lanes.
+    pub fn new(timesteps: usize) -> Self {
+        JoinScratch {
+            bank: AccumulatorBank::loas_default(timesteps),
+            per_chunk_matches: Vec::new(),
+            timesteps,
+        }
+    }
+
+    /// Prepares the scratch for the next pair: values cleared, the chunk
+    /// buffer zero-filled to `chunks`, lanes resized if the timestep count
+    /// changed. Returns the overflow baseline so the caller can report
+    /// only this pair's overflows.
+    fn begin(&mut self, timesteps: usize, chunks: usize) -> u64 {
+        if self.timesteps != timesteps {
+            self.bank = AccumulatorBank::loas_default(timesteps);
+            self.timesteps = timesteps;
+        } else {
+            self.bank.reset();
+        }
+        self.per_chunk_matches.clear();
+        self.per_chunk_matches.resize(chunks, 0);
+        self.bank.overflows()
+    }
+}
+
 /// The FTP-friendly inner-join unit of one TPPE.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InnerJoinUnit {
@@ -83,19 +120,36 @@ impl InnerJoinUnit {
     }
 
     /// Joins one row fiber of `A` with one column fiber of `B`, producing
-    /// the exact sums and the cycle cost.
+    /// the exact sums and the cycle cost. Allocates fresh scratch; hot
+    /// callers should hold a [`JoinScratch`] and use
+    /// [`InnerJoinUnit::join_with`].
     ///
     /// # Panics
     ///
     /// Panics when the fibers' uncompressed lengths (the `K` dimension)
     /// differ.
     pub fn join(&self, fiber_a: &SpikeFiber, fiber_b: &WeightFiber) -> JoinOutcome {
+        self.join_with(fiber_a, fiber_b, &mut JoinScratch::new(self.timesteps))
+    }
+
+    /// [`InnerJoinUnit::join`] with caller-provided scratch state, reused
+    /// across pairs so back-to-back joins allocate nothing but the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fibers' uncompressed lengths (the `K` dimension)
+    /// differ.
+    pub fn join_with(
+        &self,
+        fiber_a: &SpikeFiber,
+        fiber_b: &WeightFiber,
+        scratch: &mut JoinScratch,
+    ) -> JoinOutcome {
         assert_eq!(
             fiber_a.len(),
             fiber_b.len(),
             "fiber K dimensions must match"
         );
-        let mut bank = AccumulatorBank::loas_default(self.timesteps);
         let mut matches = 0u64;
         let mut corrections = 0u64;
         let mut predictions_correct = 0u64;
@@ -106,9 +160,14 @@ impl InnerJoinUnit {
         let k = fiber_a.len();
         let chunks = k.div_ceil(self.chunk_bits).max(1);
         let mut chunk_had_matches = false;
+        let overflow_baseline = scratch.begin(self.timesteps, chunks);
+        let JoinScratch {
+            bank,
+            per_chunk_matches,
+            ..
+        } = scratch;
         // Matched positions: merge-iterate both fibers once (O(nnzA + nnzB)),
         // accumulating per-chunk match counts for the cycle model.
-        let mut per_chunk_matches = vec![0u64; chunks];
         let mut b_entries = fiber_b.iter().peekable();
         for (ka, word) in fiber_a.iter() {
             while b_entries.next_if(|&(kb, _)| kb < ka).is_some() {}
@@ -134,7 +193,7 @@ impl InnerJoinUnit {
                 }
             }
         }
-        for &chunk_matches in &per_chunk_matches {
+        for &chunk_matches in per_chunk_matches.iter() {
             // Cycle model: the chunk needs 1 cycle of scan plus one cycle
             // per emitted match; corrections drain concurrently, but only
             // `fifo_depth` matches may be in flight before the laggy
@@ -164,7 +223,7 @@ impl InnerJoinUnit {
             fast_prefix_cycles,
             laggy_prefix_cycles,
             stall_cycles,
-            overflows: bank.overflows(),
+            overflows: bank.overflows() - overflow_baseline,
         }
     }
 }
@@ -290,6 +349,47 @@ mod tests {
         let fa = spike_fiber(&[], 4, 4);
         let fb = weight_fiber(&[], 5);
         unit().join(&fa, &fb);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_joins() {
+        // Back-to-back joins through one scratch must be indistinguishable
+        // from fresh-allocation joins — including per-pair overflow counts.
+        let unit = unit();
+        let pairs = [
+            (
+                spike_fiber(&[(0, 0b0110), (2, 0b1111), (4, 0b1010)], 5, 4),
+                weight_fiber(&[(2, 3), (3, 9), (4, 5)], 5),
+            ),
+            (
+                spike_fiber(&[(1, 0b0101)], 130, 4),
+                weight_fiber(&[(1, -7)], 130),
+            ),
+            (spike_fiber(&[], 8, 4), weight_fiber(&[(5, 7)], 8)),
+        ];
+        let mut scratch = JoinScratch::new(4);
+        for (fa, fb) in &pairs {
+            assert_eq!(unit.join_with(fa, fb, &mut scratch), unit.join(fa, fb));
+        }
+    }
+
+    #[test]
+    fn scratch_overflows_are_per_pair() {
+        // Saturate the 12-bit pseudo-accumulator in pair 1; pair 2 through
+        // the same scratch must report zero overflows of its own.
+        let unit = unit();
+        let positions: Vec<(usize, u16)> = (0..40).map(|i| (i, 0b1111u16)).collect();
+        let weights: Vec<(usize, i8)> = (0..40).map(|i| (i, 127i8)).collect();
+        let hot = (spike_fiber(&positions, 64, 4), weight_fiber(&weights, 64));
+        let cold = (
+            spike_fiber(&[(0, 0b0001)], 64, 4),
+            weight_fiber(&[(0, 1)], 64),
+        );
+        let mut scratch = JoinScratch::new(4);
+        let first = unit.join_with(&hot.0, &hot.1, &mut scratch);
+        assert!(first.overflows > 0, "hot pair must overflow");
+        let second = unit.join_with(&cold.0, &cold.1, &mut scratch);
+        assert_eq!(second.overflows, 0, "overflows must not leak across pairs");
     }
 
     #[test]

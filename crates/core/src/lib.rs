@@ -20,6 +20,9 @@
 //! * [`Loas`] — the end-to-end cycle-level accelerator model (Table III
 //!   configuration) reporting cycles, SRAM/DRAM traffic by class, cache
 //!   behaviour, and energy;
+//! * [`kernel`] — the two-phase layer kernel: a pure, cache-friendly
+//!   pair-intersection sweep (parallelizable across row tiles with
+//!   deterministic collection) feeding the sequential traffic phase;
 //! * [`AreaPowerModel`] — the Table IV / Fig. 15 / Fig. 16(a) area & power
 //!   model;
 //! * [`PreparedLayer`] / [`Accelerator`] / [`LayerReport`] — the shared
@@ -49,19 +52,20 @@ mod config;
 pub mod dataflow;
 mod hash;
 mod inner_join;
+pub mod kernel;
 mod metrics;
 mod plif;
 mod portable;
 mod prepared;
 mod tppe;
 
-pub use accelerator::Loas;
+pub use accelerator::{Loas, SweepStrategy};
 pub use accumulator::{Accumulator, AccumulatorBank};
 pub use area_power::AreaPowerModel;
 pub use compressor::{CompressedRow, Compressor};
 pub use config::{LoasConfig, LoasConfigBuilder};
 pub use hash::ContentHasher;
-pub use inner_join::{reference_sums, InnerJoinUnit, JoinOutcome};
+pub use inner_join::{reference_sums, InnerJoinUnit, JoinOutcome, JoinScratch};
 pub use metrics::{Accelerator, LayerReport, NetworkReport};
 pub use plif::{ParallelLif, PlifOutcome};
 pub use portable::{PortableError, PORTABLE_FORMAT};

@@ -111,6 +111,13 @@ pub trait Accelerator {
     /// Simulates one prepared layer end to end.
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport;
 
+    /// Grants the model an intra-layer worker budget for its pure compute
+    /// phase (see [`crate::kernel`]). Models without a parallel phase
+    /// ignore it; implementations must produce byte-identical reports for
+    /// every budget. The campaign engine splits its total worker budget
+    /// between job-level and intra-layer parallelism through this hook.
+    fn set_intra_workers(&mut self, _workers: usize) {}
+
     /// Simulates a sequence of layers as one network.
     fn run_network(&mut self, network: &str, layers: &[PreparedLayer]) -> NetworkReport {
         let reports = layers.iter().map(|l| self.run_layer(l)).collect();
@@ -128,6 +135,10 @@ impl<A: Accelerator + ?Sized> Accelerator for Box<A> {
 
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         (**self).run_layer(layer)
+    }
+
+    fn set_intra_workers(&mut self, workers: usize) {
+        (**self).set_intra_workers(workers)
     }
 
     fn run_network(&mut self, network: &str, layers: &[PreparedLayer]) -> NetworkReport {

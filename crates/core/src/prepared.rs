@@ -5,6 +5,7 @@
 //! [`PreparedLayer`] so that cross-accelerator comparisons see identical
 //! inputs.
 
+use crate::kernel::RowBlocks;
 use loas_snn::LifParams;
 use loas_sparse::{Bitmask, CsrMatrix, PackedSpikes, SpikeFiber, WeightFiber, POINTER_BITS};
 use loas_workloads::{LayerShape, LayerWorkload};
@@ -28,6 +29,14 @@ pub struct PreparedLayer {
     /// Per-row non-zero weight counts of `B` viewed row-wise (for OP/Gust
     /// models: `B`'s row `k`).
     pub b_row_nnz: Vec<usize>,
+    /// Structure-of-arrays sweep layout of the `A` side: per row, the
+    /// non-silent bitmask words followed by the `T` plane-row words,
+    /// contiguous (consumed by [`crate::kernel::PairSweepKernel`]).
+    pub row_blocks: RowBlocks,
+    /// Per-column total spike counts (`Σ_{m,t} A[m, k, t]`), the `A` half
+    /// of the `O(K)` fired-count aggregate
+    /// ([`crate::kernel::fired_grand_total`]).
+    pub col_spikes: Vec<u32>,
 }
 
 impl PreparedLayer {
@@ -48,6 +57,13 @@ impl PreparedLayer {
         for (ki, nnz) in b_row_nnz.iter_mut().enumerate() {
             *nnz = workload.weights.row(ki).iter().filter(|&&w| w != 0).count();
         }
+        let row_blocks = RowBlocks::from_spike_fibers(&a_fibers, shape.t);
+        let mut col_spikes = vec![0u32; shape.k];
+        for fiber in &a_fibers {
+            for (k, word) in fiber.iter() {
+                col_spikes[k] += word.fire_count() as u32;
+            }
+        }
         PreparedLayer {
             name: workload.name.clone(),
             shape,
@@ -56,6 +72,8 @@ impl PreparedLayer {
             b_fibers,
             a_csr_per_t,
             b_row_nnz,
+            row_blocks,
+            col_spikes,
         }
     }
 
@@ -186,6 +204,25 @@ mod tests {
         );
         let (_, csr_format) = p.a_csr_bits();
         assert!(csr_format > 0);
+    }
+
+    #[test]
+    fn row_blocks_and_col_spikes_mirror_the_tensor() {
+        let p = prepared();
+        assert_eq!(p.row_blocks.rows(), p.shape.m);
+        assert_eq!(p.row_blocks.planes(), p.shape.t);
+        for m in 0..p.shape.m {
+            assert_eq!(p.row_blocks.mask(m), p.a_mask(m).words());
+            for t in 0..p.shape.t {
+                assert_eq!(
+                    p.row_blocks.plane(m, t),
+                    p.a_row_at(m, t).words(),
+                    "plane ({m}, {t})"
+                );
+            }
+        }
+        let total: u32 = p.col_spikes.iter().sum();
+        assert_eq!(total as usize, p.spike_count());
     }
 
     #[test]

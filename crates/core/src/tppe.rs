@@ -9,7 +9,7 @@
 //! shot.
 
 use crate::config::LoasConfig;
-use crate::inner_join::{InnerJoinUnit, JoinOutcome};
+use crate::inner_join::{InnerJoinUnit, JoinOutcome, JoinScratch};
 use crate::plif::{ParallelLif, PlifOutcome};
 use loas_snn::LifParams;
 use loas_sparse::{SpikeFiber, WeightFiber};
@@ -82,7 +82,23 @@ impl Tppe {
         fiber_b: &WeightFiber,
         lif: LifParams,
     ) -> TppeOutcome {
-        let join = self.join_unit.join(fiber_a, fiber_b);
+        self.process_with(fiber_a, fiber_b, lif, &mut JoinScratch::new(self.timesteps))
+    }
+
+    /// [`Tppe::process`] with caller-provided join scratch, reused across
+    /// output neurons (the verified datapath's hot loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics when fiber lengths disagree.
+    pub fn process_with(
+        &self,
+        fiber_a: &SpikeFiber,
+        fiber_b: &WeightFiber,
+        lif: LifParams,
+        scratch: &mut JoinScratch,
+    ) -> TppeOutcome {
+        let join = self.join_unit.join_with(fiber_a, fiber_b, scratch);
         let plif = ParallelLif::new(lif, self.timesteps).fire(&join.sums);
         let b_load_cycles = self.b_load_cycles(fiber_b.nnz());
         let compute_cycles = join.cycles + 1; // P-LIF one-shot

@@ -88,6 +88,14 @@ fn pinned_workers(value: Option<&str>) -> Option<usize> {
         .filter(|&workers| workers >= 1)
 }
 
+/// Intra-layer worker share per job: the engine budget divided by the
+/// job-level threads actually spawned, at least 1. With more jobs than
+/// budget every job runs its pure phase inline; a 1-job campaign on an
+/// 8-worker engine sweeps its row tiles on all 8.
+fn intra_share(budget: usize, job_workers: usize) -> usize {
+    (budget / job_workers.max(1)).max(1)
+}
+
 impl Engine {
     /// An engine with a fixed worker count (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
@@ -348,6 +356,12 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let (sender, receiver) = mpsc::channel::<(usize, LayerReport, f64)>();
         let workers = self.workers.min(to_run.len().max(1));
+        // Split the engine's worker budget between job-level and
+        // intra-layer parallelism: campaigns with fewer jobs than budget
+        // (the tail of a sharded sweep, or one huge layer) hand the spare
+        // workers to each model's pure compute phase. Reports are
+        // byte-identical for any split (models guarantee it).
+        let intra_workers = intra_share(self.workers, workers);
         let records = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let sender = sender.clone();
@@ -361,6 +375,7 @@ impl Engine {
                     };
                     let job_start = Instant::now();
                     let mut model = jobs[index].accelerator.build();
+                    model.set_intra_workers(intra_workers);
                     let report = model.run_layer(&layers[position]);
                     if sender
                         .send((index, report, job_start.elapsed().as_secs_f64()))
@@ -489,6 +504,32 @@ mod tests {
         assert_eq!(pinned_workers(Some("")), None);
         assert_eq!(pinned_workers(None), None);
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn intra_share_splits_the_budget() {
+        assert_eq!(intra_share(8, 8), 1, "budget fully spent on jobs");
+        assert_eq!(intra_share(8, 2), 4, "spare budget goes intra-layer");
+        assert_eq!(intra_share(8, 1), 8, "single job gets everything");
+        assert_eq!(intra_share(1, 1), 1);
+        assert_eq!(intra_share(0, 0), 1, "degenerate inputs clamp to 1");
+    }
+
+    #[test]
+    fn intra_worker_budgets_leave_campaign_output_byte_identical() {
+        // The same campaign with wildly different worker budgets (and
+        // therefore different intra-layer shares) must serialize
+        // identically — the engine's determinism contract extended to the
+        // two-phase kernels.
+        let mut campaign = Campaign::new("intra-det");
+        for accelerator in AcceleratorSpec::headline_fleet() {
+            campaign.push_layer(small("intra-w"), accelerator);
+        }
+        let golden = Engine::new(1).run(&campaign).unwrap().jsonl();
+        for workers in [2usize, 5] {
+            let outcome = Engine::new(workers).run(&campaign).unwrap();
+            assert_eq!(outcome.jsonl(), golden, "workers={workers}");
+        }
     }
 
     #[test]

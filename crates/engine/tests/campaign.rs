@@ -28,6 +28,50 @@ fn mixed_campaign() -> Campaign {
     campaign
 }
 
+/// The acceptance gate of the two-phase kernel PR: the full headline
+/// campaign — 7 accelerators x the 4 selected Table II layers — produces
+/// byte-identical portable `LayerReport`s for intra-layer worker counts
+/// {1, 2, 4}, job by job.
+#[test]
+fn headline_campaign_is_byte_identical_across_intra_worker_counts() {
+    let mut campaign = Campaign::new("headline-intra");
+    let layers: Vec<WorkloadSpec> = networks::selected_layers()
+        .iter()
+        .map(WorkloadSpec::from_layer)
+        .collect();
+    campaign.push_product(&layers, &AcceleratorSpec::headline_fleet());
+    assert_eq!(campaign.len(), 7 * 4);
+
+    let engine = Engine::new(2);
+    let prepared: Vec<_> = campaign
+        .jobs()
+        .iter()
+        .map(|job| {
+            engine
+                .prepare(std::slice::from_ref(&job.workload))
+                .unwrap()
+                .remove(0)
+        })
+        .collect();
+    for (job, layer) in campaign.jobs().iter().zip(&prepared) {
+        let golden = {
+            let mut model = job.accelerator.build();
+            model.set_intra_workers(1);
+            model.run_layer(layer).to_portable()
+        };
+        for intra in [2usize, 4] {
+            let mut model = job.accelerator.build();
+            model.set_intra_workers(intra);
+            assert_eq!(
+                model.run_layer(layer).to_portable(),
+                golden,
+                "{} diverges at {intra} intra workers",
+                job.label
+            );
+        }
+    }
+}
+
 #[test]
 fn reports_are_byte_identical_across_worker_counts() {
     let campaign = mixed_campaign();

@@ -274,6 +274,19 @@ impl Bitmask {
         self.len.div_ceil(chunk_bits)
     }
 
+    /// Per-chunk AND-popcounts of two masks streamed `chunk_words` words at
+    /// a time — the quantity an inner-join circuit's priority encoder sees
+    /// per bitmask chunk. Missing words (when the masks have different word
+    /// counts) read as zero, and at least one chunk is always yielded, so a
+    /// pair of empty masks still models one scan cycle.
+    pub fn chunked_and_counts<'a>(
+        &'a self,
+        other: &'a Bitmask,
+        chunk_words: usize,
+    ) -> ChunkedAndCounts<'a> {
+        chunked_and_counts(&self.words, &other.words, chunk_words)
+    }
+
     /// Extracts bits `[start, start + width)` as a new bitmask. Bits past the
     /// end of the mask read as zero, so the final chunk of a stream is padded.
     pub fn slice(&self, start: usize, width: usize) -> Bitmask {
@@ -317,6 +330,65 @@ impl Bitmask {
 impl FromIterator<bool> for Bitmask {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
         Bitmask::from_bools(iter)
+    }
+}
+
+/// Per-chunk AND-popcounts over raw word slices (the slice-level form of
+/// [`Bitmask::chunked_and_counts`], used by hot kernels that keep their
+/// masks in structure-of-arrays layouts). Words past the end of either
+/// slice read as zero; at least one chunk is always yielded.
+///
+/// # Panics
+///
+/// Panics when `chunk_words` is zero.
+pub fn chunked_and_counts<'a>(
+    a: &'a [u64],
+    b: &'a [u64],
+    chunk_words: usize,
+) -> ChunkedAndCounts<'a> {
+    assert!(chunk_words > 0, "chunk width must be positive");
+    ChunkedAndCounts {
+        a,
+        b,
+        words: a.len().max(b.len()),
+        chunk_words,
+        pos: 0,
+        yielded: false,
+    }
+}
+
+/// Iterator over per-chunk AND-popcounts, produced by
+/// [`Bitmask::chunked_and_counts`] / [`chunked_and_counts`].
+#[derive(Debug, Clone)]
+pub struct ChunkedAndCounts<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    words: usize,
+    chunk_words: usize,
+    pos: usize,
+    yielded: bool,
+}
+
+impl Iterator for ChunkedAndCounts<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.pos >= self.words && self.yielded {
+            return None;
+        }
+        let end = (self.pos + self.chunk_words).min(self.words);
+        // The overlap of both slices streams word pairs; the tail where one
+        // slice has run out contributes nothing (zero AND anything).
+        let lo = self.pos.min(self.a.len()).min(self.b.len());
+        let hi = end.min(self.a.len()).min(self.b.len());
+        let count = self.a[lo..hi]
+            .iter()
+            .zip(&self.b[lo..hi])
+            .map(|(aw, bw)| (aw & bw).count_ones() as u64)
+            .sum();
+        self.pos = end;
+        self.yielded = true;
+        Some(count)
     }
 }
 
@@ -460,6 +532,41 @@ mod tests {
         let bm: Bitmask = [true, false, true].into_iter().collect();
         assert_eq!(bm.len(), 3);
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn chunked_and_counts_cover_all_words() {
+        let a = Bitmask::from_indices(300, &[0, 1, 64, 129, 299]).unwrap();
+        let b = Bitmask::from_indices(300, &[1, 64, 130, 299]).unwrap();
+        // 5 words in 2-word chunks: 3 chunks, matches at 1, 64 (chunk 0)
+        // and 299 (chunk 2).
+        let counts: Vec<u64> = a.chunked_and_counts(&b, 2).collect();
+        assert_eq!(counts, vec![2, 0, 1]);
+        assert_eq!(
+            counts.iter().sum::<u64>() as usize,
+            a.and_count(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunked_and_counts_empty_masks_yield_one_chunk() {
+        let a = Bitmask::zeros(0);
+        let b = Bitmask::zeros(0);
+        assert_eq!(a.chunked_and_counts(&b, 2).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn chunked_and_counts_pads_shorter_slice() {
+        // Raw-slice form with unequal lengths: missing words read as zero.
+        let counts: Vec<u64> = chunked_and_counts(&[u64::MAX, u64::MAX, 1], &[0b1011], 2).collect();
+        assert_eq!(counts, vec![3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk width")]
+    fn chunked_and_counts_rejects_zero_width() {
+        let a = Bitmask::zeros(8);
+        let _ = a.chunked_and_counts(&a, 0);
     }
 
     #[test]

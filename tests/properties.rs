@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on the core data structures and the
 //! invariants the paper's hardware relies on.
 
+use loas::core::kernel::{PairSweepKernel, RowBlocks};
 use loas::core::{reference_sums, AccumulatorBank, InnerJoinUnit, ParallelLif};
 use loas::sparse::prefix_sum::{exclusive_prefix_sum, PrefixSumCircuit};
 use loas::sparse::{Bitmask, FastPrefixSum, LaggyPrefixSum, PackedSpikes, SpikeFiber, WeightFiber};
@@ -144,6 +145,52 @@ proptest! {
             prop_assert_eq!(mask.rank(pos), i);
         }
         prop_assert_eq!(mask.select(idx.len()), None);
+    }
+
+    #[test]
+    fn pair_sweep_kernel_agrees_with_inner_join(
+        row in packed_row(300, 4),
+        weights in weight_row(300),
+    ) {
+        // The two-phase kernel's pure pair counts must agree with the
+        // bit-exact inner-join unit and the dense reference on every
+        // randomized fiber pair: matches, stall/backpressure cycles,
+        // fast/laggy prefix activity, per-timestep counts, fired totals.
+        let fiber_a = SpikeFiber::from_packed_row(&row);
+        let fiber_b = WeightFiber::from_weights(&weights);
+        let config = LoasConfig::table3();
+        let unit = InnerJoinUnit::new(&config);
+        let outcome = unit.join(&fiber_a, &fiber_b);
+
+        let blocks = RowBlocks::from_spike_fibers(std::slice::from_ref(&fiber_a), 4);
+        let kernel = PairSweepKernel::new(config.bitmask_bits, Some(config.fifo_depth));
+        let counts = kernel.pair_counts(&blocks, 0, fiber_b.bitmask().words());
+
+        prop_assert_eq!(counts.matches, outcome.matches);
+        prop_assert_eq!(counts.stalls, outcome.stall_cycles);
+        prop_assert_eq!(counts.chunks, 300u64.div_ceil(config.bitmask_bits as u64).max(1));
+        // Fast prefix: one scan cycle per chunk plus one per match; laggy:
+        // one sweep per chunk that produced work.
+        prop_assert_eq!(counts.chunks + counts.matches, outcome.fast_prefix_cycles);
+        prop_assert_eq!(
+            counts.laggy_chunks * config.laggy_latency_cycles(),
+            outcome.laggy_prefix_cycles
+        );
+        // Fired totals: the join applies `corrections` for every matched
+        // timestep that did not fire, so fired = T·matches − corrections.
+        prop_assert_eq!(counts.fired, 4 * outcome.matches - outcome.corrections);
+        prop_assert_eq!(counts.fired, counts.t_counts[..4].iter().map(|&c| c as u64).sum::<u64>());
+        // Per-timestep counts against dense first principles, and the sums
+        // against the dense reference join.
+        for t in 0..4 {
+            let dense = row
+                .iter()
+                .zip(&weights)
+                .filter(|(word, &w)| w != 0 && word.fires_at(t))
+                .count() as u32;
+            prop_assert_eq!(counts.t_counts[t], dense, "t={}", t);
+        }
+        prop_assert_eq!(&outcome.sums, &reference_sums(&fiber_a, &fiber_b, 4));
     }
 
     #[test]
