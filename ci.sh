@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # CI entry point: formatting, lints on the engine/serve crates, release
-# build, the full workspace test suite (tier-1 verify is those two steps),
-# an end-to-end loas-serve smoke test (enqueue -> run two shard
-# processes -> merge -> verify byte-identical to a single-process run ->
-# warm-store replay with zero simulations), a perf smoke emitting
-# BENCH_PR3.json on the quick fig13 grid, and a kernel-vs-pre-kernel
-# campaign A/B asserting the two-phase sweep is byte-identical to the
-# scalar golden path.
+# build, the full workspace test suite (tier-1 verify is those two steps;
+# the suite includes the committed golden-v1-spec memo-key assertions and
+# the v2 spec round-trip property test), an end-to-end loas-serve smoke
+# test (enqueue -> run two shard processes -> merge -> verify
+# byte-identical to a single-process run -> warm-store replay with zero
+# simulations), a v1-vs-v2 spec A/B against the committed pre-redesign
+# report, a served baseline-config sweep (Gamma FiberCache), smokes for
+# the queue admin commands (batch enqueue, requeue, fsck), a perf smoke
+# emitting BENCH_PR3.json on the quick fig13 grid, and a
+# kernel-vs-pre-kernel campaign A/B asserting the two-phase sweep is
+# byte-identical to the scalar golden path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,6 +57,53 @@ grep -q "28 memo hits, 0 simulated" "$SMOKE/warm.out"
 echo "-- warm replay vs original report"
 cmp "$SMOKE/single/reports/00001/report.jsonl" "$SMOKE/single/reports/00002/report.jsonl"
 "$SERVE" status "$SMOKE/single"
+
+echo "== golden v1 spec A/B (pre-redesign schema through the catalog)"
+# The committed pre-redesign v1 spec must drive the catalog-dispatched
+# models to the committed pre-redesign report, byte for byte — and the v2
+# spec of the same campaign ("$SMOKE/single" ran the emitted --headline
+# spec, which is v2) must agree with both.
+"$SERVE" init "$SMOKE/golden"
+"$SERVE" enqueue "$SMOKE/golden" crates/serve/tests/golden/headline-v1.spec.json
+"$SERVE" run "$SMOKE/golden"
+cmp "$SMOKE/golden/reports/00001/report.jsonl" crates/serve/tests/golden/headline-v1.report.jsonl
+grep -q '"version": 2' "$SMOKE/headline.json"
+cmp "$SMOKE/golden/reports/00001/report.jsonl" "$SMOKE/single/reports/00001/report.jsonl"
+
+echo "== served baseline-config sweep (Gamma FiberCache campaign)"
+"$SERVE" enqueue "$SMOKE/single" --gamma-cache --quick
+"$SERVE" run "$SMOKE/single"
+"$SERVE" status "$SMOKE/single" | grep "gamma-cache-sweep" | grep -q "done"
+test -s "$SMOKE/single/reports/00003/report.jsonl"
+
+echo "== queue admin smoke: batch enqueue, requeue, fsck"
+mkdir "$SMOKE/batch"
+"$SERVE" spec --headline --quick > "$SMOKE/batch/a-headline.json"
+"$SERVE" spec --gamma-cache --quick > "$SMOKE/batch/b-gamma.json"
+"$SERVE" init "$SMOKE/batchq"
+"$SERVE" enqueue "$SMOKE/batchq" "$SMOKE/batch" | grep -q "batch: 2 campaigns submitted"
+
+cat > "$SMOKE/infeasible.json" <<'SPEC'
+{"name": "infeasible", "jobs": [{
+  "workload": {"name": "w", "shape": {"t": 2, "m": 4, "n": 4, "k": 16},
+               "profile": {"spike_origin": 0.01, "silent": 0.5,
+                           "silent_ft": 0.55, "weight": 0.98},
+               "seed": 7},
+  "accelerator": "loas"}]}
+SPEC
+"$SERVE" enqueue "$SMOKE/single" "$SMOKE/infeasible.json"
+"$SERVE" run "$SMOKE/single"
+"$SERVE" status "$SMOKE/single" | grep "00004" | grep -q "failed"
+"$SERVE" requeue "$SMOKE/single" 4
+"$SERVE" status "$SMOKE/single" | grep "00004" | grep -q "queued"
+
+"$SERVE" fsck "$SMOKE/single"
+echo "garbage" > "$SMOKE/single/memo/00000000deadbeef.report"
+if "$SERVE" fsck "$SMOKE/single" > /dev/null 2>&1; then
+  echo "fsck missed an injected corrupt memo entry"; exit 1
+fi
+"$SERVE" fsck "$SMOKE/single" --prune | grep -q "1 pruned"
+"$SERVE" fsck "$SMOKE/single"
 
 echo "== two-phase kernel vs pre-kernel golden (LOAS_SWEEP=scalar A/B)"
 # A fresh queue simulated entirely on the pre-kernel scalar sweep (its own

@@ -13,6 +13,67 @@ pub const BASELINE_CACHE_BYTES: usize = 256 * 1024;
 /// Off-chip bandwidth shared by all baselines (GB/s).
 pub const BASELINE_HBM_GBPS: f64 = 128.0;
 
+/// Shared cache-geometry invariant check: every dimension positive and
+/// capacity at least one set — the preconditions `SramCache::new` asserts,
+/// surfaced as an error so untrusted spec overrides fail cleanly.
+pub(crate) fn check_cache_geometry(
+    cache_bytes: usize,
+    line_bytes: usize,
+    ways: usize,
+    banks: usize,
+) -> Result<(), String> {
+    if line_bytes == 0 || ways == 0 || banks == 0 {
+        return Err("degenerate cache geometry".to_owned());
+    }
+    if cache_bytes < line_bytes * ways {
+        return Err("cache capacity below one set".to_owned());
+    }
+    Ok(())
+}
+
+/// Generates a `LoasConfig`-style non-consuming builder for a baseline
+/// configuration struct: one setter per listed field, terminated by a
+/// validating `build()` (which calls the config's `validated()`).
+macro_rules! config_builder {
+    ($config:ident, $builder:ident, { $( $field:ident : $ty:ty ),* $(,)? }) => {
+        #[doc = concat!("Builder for [`", stringify!($config), "`] (paper defaults).")]
+        #[derive(Debug, Clone)]
+        pub struct $builder {
+            config: $config,
+        }
+
+        impl $builder {
+            $(
+                #[doc = concat!("Sets `", stringify!($field), "`.")]
+                pub fn $field(mut self, value: $ty) -> Self {
+                    self.config.$field = value;
+                    self
+                }
+            )*
+
+            /// Finalises the configuration.
+            ///
+            /// # Panics
+            ///
+            /// Panics on degenerate values (see the config's field docs).
+            pub fn build(self) -> $config {
+                self.config.validated()
+            }
+        }
+
+        impl $config {
+            /// A builder starting from the paper defaults.
+            pub fn builder() -> $builder {
+                $builder {
+                    config: $config::default(),
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use config_builder;
+
 /// A baseline machine: HBM + cache + stats under construction.
 #[derive(Debug)]
 pub(crate) struct Machine {
@@ -26,9 +87,15 @@ impl Machine {
     /// Creates the standard baseline machine (16 PEs' worth of memory
     /// system: 256 KB cache, 128 GB/s HBM).
     pub fn standard() -> Self {
+        Machine::with_cache(BASELINE_CACHE_BYTES, 64, 16, 16)
+    }
+
+    /// Creates a baseline machine with explicit shared-cache geometry (the
+    /// knob baseline-config sweeps turn); HBM stays at the shared 128 GB/s.
+    pub fn with_cache(cache_bytes: usize, line_bytes: usize, ways: usize, banks: usize) -> Self {
         Machine {
             hbm: HbmModel::new(BASELINE_HBM_GBPS, 16, ClockDomain::default()),
-            cache: SramCache::new(BASELINE_CACHE_BYTES, 64, 16, 16),
+            cache: SramCache::new(cache_bytes, line_bytes, ways, banks),
             stats: SimStats::new(),
             energy: EnergyModel::default(),
         }

@@ -11,13 +11,15 @@
 //!   traffic the lowest of the baselines, but the inflated partial-row
 //!   working set raises the cache miss rate (Fig. 14 discussion).
 
-use crate::common::Machine;
+use crate::common::{config_builder, Machine, BASELINE_CACHE_BYTES, BASELINE_PES};
 use loas_core::{Accelerator, LayerReport, PreparedLayer};
 use loas_sim::TrafficClass;
 
-/// Microarchitectural parameters of the Gamma-SNN model.
+/// Typed configuration of the Gamma-SNN model. Registered in the
+/// accelerator catalog as `"gamma"`; the FiberCache geometry fields are
+/// the knobs the Gamma cache-size campaign sweep turns.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GammaParams {
+pub struct GammaConfig {
     /// Row-processing PEs (paper: 16).
     pub pes: usize,
     /// Merged elements emitted per cycle per PE (Gamma's merger: 1).
@@ -29,21 +31,99 @@ pub struct GammaParams {
     pub weight_bits: usize,
     /// Psum precision in bytes (for partial output rows).
     pub psum_bytes: usize,
+    /// FiberCache capacity in bytes (paper: the shared 256 KB).
+    pub cache_bytes: usize,
+    /// FiberCache line size in bytes.
+    pub cache_line_bytes: usize,
+    /// FiberCache associativity.
+    pub cache_ways: usize,
+    /// FiberCache banks.
+    pub cache_banks: usize,
 }
 
-impl Default for GammaParams {
+impl Default for GammaConfig {
     fn default() -> Self {
-        GammaParams {
-            pes: 16,
+        GammaConfig {
+            pes: BASELINE_PES,
             merge_rate: 1,
             merge_radix: 64,
             weight_bits: 8,
             psum_bytes: 2,
+            cache_bytes: BASELINE_CACHE_BYTES,
+            cache_line_bytes: 64,
+            cache_ways: 16,
+            cache_banks: 16,
         }
     }
 }
 
-impl GammaParams {
+impl GammaConfig {
+    /// The FiberCache capacities the workspace's built-in cache sweep
+    /// visits — shared by the bench `sweeps` table and the served
+    /// `loas-serve spec --gamma-cache` campaign, so the two can never
+    /// drift apart.
+    pub const CACHE_SWEEP_POINTS: [usize; 4] = [64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024];
+
+    /// Checks the cross-field invariants (builder panics on violations;
+    /// the serve spec parser surfaces them as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.pes == 0 {
+            return Err("need at least one PE".to_owned());
+        }
+        if self.merge_rate == 0 {
+            return Err("merger must emit at least one element per cycle".to_owned());
+        }
+        if self.merge_radix <= 1 {
+            return Err("radix-1 mergers never converge".to_owned());
+        }
+        if self.psum_bytes == 0 {
+            return Err("degenerate psum precision".to_owned());
+        }
+        crate::common::check_cache_geometry(
+            self.cache_bytes,
+            self.cache_line_bytes,
+            self.cache_ways,
+            self.cache_banks,
+        )
+    }
+
+    fn validated(self) -> Self {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+        self
+    }
+}
+
+config_builder!(GammaConfig, GammaConfigBuilder, {
+    pes: usize,
+    merge_rate: u64,
+    merge_radix: usize,
+    weight_bits: usize,
+    psum_bytes: usize,
+    cache_bytes: usize,
+    cache_line_bytes: usize,
+    cache_ways: usize,
+    cache_banks: usize,
+});
+
+loas_core::impl_model_config!(GammaConfig, "gamma", {
+    pes: usize,
+    merge_rate: u64,
+    merge_radix: usize,
+    weight_bits: usize,
+    psum_bytes: usize,
+    cache_bytes: usize,
+    cache_line_bytes: usize,
+    cache_ways: usize,
+    cache_banks: usize,
+});
+
+impl GammaConfig {
     /// Merge rounds needed for `fibers` input fibers: `ceil(log_radix)`,
     /// minimum one.
     pub fn merge_rounds(&self, fibers: usize) -> u64 {
@@ -60,12 +140,12 @@ impl GammaParams {
 /// The Gamma-SNN baseline model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GammaSnn {
-    params: GammaParams,
+    params: GammaConfig,
 }
 
 impl GammaSnn {
-    /// Creates the model with the given parameters.
-    pub fn new(params: GammaParams) -> Self {
+    /// Creates the model with the given configuration.
+    pub fn new(params: GammaConfig) -> Self {
         GammaSnn { params }
     }
 }
@@ -78,7 +158,12 @@ impl Accelerator for GammaSnn {
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         let p = self.params;
         let shape = layer.shape;
-        let mut machine = Machine::standard();
+        let mut machine = Machine::with_cache(
+            p.cache_bytes,
+            p.cache_line_bytes,
+            p.cache_ways,
+            p.cache_banks,
+        );
         let coord_bits = loas_sparse::coordinate_bits(shape.n);
 
         // ---- Off-chip: A as per-timestep spike-train row fibers (the raw
@@ -168,6 +253,23 @@ impl Accelerator for GammaSnn {
         machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
         machine.finish(&layer.name, &self.name(), compute)
     }
+}
+
+/// The accelerator-catalog entry for this model.
+pub(crate) fn catalog_entry() -> loas_core::ModelEntry {
+    loas_core::ModelEntry::new(
+        "gamma",
+        "Gamma-SNN: Gustavson spMspM baseline with FiberCache + merger",
+        3,
+        || Box::new(GammaConfig::default()),
+        |config| {
+            let config = config
+                .as_any()
+                .downcast_ref::<GammaConfig>()
+                .expect("gamma entry built with a GammaConfig");
+            Box::new(GammaSnn::new(*config))
+        },
+    )
 }
 
 #[cfg(test)]

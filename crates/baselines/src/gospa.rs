@@ -13,13 +13,14 @@
 //!   (`log2(M)` bits per spike per timestep), the largest compressed-format
 //!   footprint of all designs (Fig. 14).
 
-use crate::common::Machine;
+use crate::common::{config_builder, Machine};
 use loas_core::{Accelerator, LayerReport, PreparedLayer};
 use loas_sim::TrafficClass;
 
-/// Microarchitectural parameters of the GoSPA-SNN model.
+/// Typed configuration of the GoSPA-SNN model. Registered in the
+/// accelerator catalog as `"gospa"`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GospaParams {
+pub struct GospaConfig {
     /// Accumulation lanes fed by one streamed activation per cycle.
     pub lanes: usize,
     /// On-chip psum scratch in bytes (GoSPA allocates a small dedicated
@@ -31,9 +32,9 @@ pub struct GospaParams {
     pub weight_bits: usize,
 }
 
-impl Default for GospaParams {
+impl Default for GospaConfig {
     fn default() -> Self {
-        GospaParams {
+        GospaConfig {
             lanes: 16,
             psum_buffer_bytes: 64 * 1024,
             psum_bytes: 2,
@@ -42,15 +43,54 @@ impl Default for GospaParams {
     }
 }
 
+impl GospaConfig {
+    /// Checks the cross-field invariants (builder panics on violations;
+    /// the serve spec parser surfaces them as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.lanes == 0 {
+            return Err("need at least one accumulation lane".to_owned());
+        }
+        if self.psum_bytes == 0 {
+            return Err("degenerate psum precision".to_owned());
+        }
+        Ok(())
+    }
+
+    fn validated(self) -> Self {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+        self
+    }
+}
+
+config_builder!(GospaConfig, GospaConfigBuilder, {
+    lanes: usize,
+    psum_buffer_bytes: usize,
+    psum_bytes: usize,
+    weight_bits: usize,
+});
+
+loas_core::impl_model_config!(GospaConfig, "gospa", {
+    lanes: usize,
+    psum_buffer_bytes: usize,
+    psum_bytes: usize,
+    weight_bits: usize,
+});
+
 /// The GoSPA-SNN baseline model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GospaSnn {
-    params: GospaParams,
+    params: GospaConfig,
 }
 
 impl GospaSnn {
-    /// Creates the model with the given parameters.
-    pub fn new(params: GospaParams) -> Self {
+    /// Creates the model with the given configuration.
+    pub fn new(params: GospaConfig) -> Self {
         GospaSnn { params }
     }
 
@@ -157,6 +197,23 @@ impl Accelerator for GospaSnn {
 
         machine.finish(&layer.name, &self.name(), compute)
     }
+}
+
+/// The accelerator-catalog entry for this model.
+pub(crate) fn catalog_entry() -> loas_core::ModelEntry {
+    loas_core::ModelEntry::new(
+        "gospa",
+        "GoSPA-SNN: outer-product (OP) spMspM baseline with psum spill traffic",
+        2,
+        || Box::new(GospaConfig::default()),
+        |config| {
+            let config = config
+                .as_any()
+                .downcast_ref::<GospaConfig>()
+                .expect("gospa entry built with a GospaConfig");
+            Box::new(GospaSnn::new(*config))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -48,9 +48,30 @@ mod systolic;
 
 pub use ann::{run_gamma_ann, run_sparten_ann, run_sparten_ann_with, AnnPrepared};
 pub use common::{BASELINE_CACHE_BYTES, BASELINE_HBM_GBPS, BASELINE_PES};
-pub use gamma::{GammaParams, GammaSnn};
-pub use gospa::{GospaParams, GospaSnn};
-pub use ptb::{Ptb, PtbParams};
-pub use sparten::{SparTenParams, SparTenSnn};
-pub use stellar::{Stellar, StellarParams};
+pub use gamma::{GammaConfig, GammaConfigBuilder, GammaSnn};
+pub use gospa::{GospaConfig, GospaConfigBuilder, GospaSnn};
+pub use ptb::{Ptb, PtbConfig, PtbConfigBuilder};
+pub use sparten::{SparTenConfig, SparTenConfigBuilder, SparTenSnn};
+pub use stellar::{Stellar, StellarConfig, StellarConfigBuilder};
 pub use systolic::SystolicArray;
+
+/// Registers the five baseline models into the process-global accelerator
+/// catalog (idempotent — callers may race freely). The engine's spec layer
+/// invokes this before every catalog lookup, so linking `loas-engine` is
+/// enough to make `"sparten"`, `"gospa"`, `"gamma"`, `"ptb"`, and
+/// `"stellar"` resolvable; adding a baseline means registering it here and
+/// nowhere else.
+pub fn register_catalog() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        for entry in [
+            sparten::catalog_entry(),
+            gospa::catalog_entry(),
+            gamma::catalog_entry(),
+            ptb::catalog_entry(),
+            stellar::catalog_entry(),
+        ] {
+            loas_core::catalog::register(entry).expect("baseline catalog names are unique");
+        }
+    });
+}

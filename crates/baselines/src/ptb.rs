@@ -7,18 +7,22 @@
 //! workload: no weight sparsity, no spike skipping — every `(m, n)` pair
 //! pays the full `K`-deep reduction. PTB targets large-timestep DVS
 //! workloads; at `T = 4` (one timestep per column) its utilization is low
-//! (Section VII), modeled as [`PtbParams::utilization`].
+//! (Section VII), modeled as [`PtbConfig::utilization`].
 
-use crate::common::Machine;
+use crate::common::{config_builder, Machine};
 use crate::systolic::SystolicArray;
 use loas_core::{Accelerator, LayerReport, PreparedLayer};
 use loas_sim::TrafficClass;
 
-/// Parameters of the PTB model.
+/// Typed configuration of the PTB model. Registered in the accelerator
+/// catalog as `"ptb"`; the array geometry is flattened to plain fields so
+/// campaign specs can sweep it.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PtbParams {
-    /// Array geometry (paper comparison: 16 x 4).
-    pub array: SystolicArray,
+pub struct PtbConfig {
+    /// Systolic-array rows — LIF neurons (paper comparison: 16).
+    pub array_rows: usize,
+    /// Systolic-array columns — time windows (paper comparison: 4).
+    pub array_cols: usize,
     /// Effective utilization at small timestep counts (PTB is designed for
     /// `T > 100` DVS streams; at `T = 4` windows underfill the array).
     pub utilization: f64,
@@ -26,25 +30,71 @@ pub struct PtbParams {
     pub weight_bits: usize,
 }
 
-impl Default for PtbParams {
+impl Default for PtbConfig {
     fn default() -> Self {
-        PtbParams {
-            array: SystolicArray::new(16, 4),
+        PtbConfig {
+            array_rows: 16,
+            array_cols: 4,
             utilization: 0.6,
             weight_bits: 8,
         }
     }
 }
 
+impl PtbConfig {
+    /// Checks the cross-field invariants (builder panics on violations;
+    /// the serve spec parser surfaces them as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.array_rows == 0 || self.array_cols == 0 {
+            return Err("empty systolic array".to_owned());
+        }
+        let in_range = self.utilization > 0.0 && self.utilization <= 1.0;
+        if !in_range {
+            return Err("utilization must be in (0, 1]".to_owned());
+        }
+        Ok(())
+    }
+
+    fn validated(self) -> Self {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+        self
+    }
+
+    /// The configured array geometry.
+    pub fn array(&self) -> SystolicArray {
+        SystolicArray::new(self.array_rows, self.array_cols)
+    }
+}
+
+config_builder!(PtbConfig, PtbConfigBuilder, {
+    array_rows: usize,
+    array_cols: usize,
+    utilization: f64,
+    weight_bits: usize,
+});
+
+loas_core::impl_model_config!(PtbConfig, "ptb", {
+    array_rows: usize,
+    array_cols: usize,
+    utilization: f64,
+    weight_bits: usize,
+});
+
 /// The PTB dense baseline model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Ptb {
-    params: PtbParams,
+    params: PtbConfig,
 }
 
 impl Ptb {
-    /// Creates the model with the given parameters.
-    pub fn new(params: PtbParams) -> Self {
+    /// Creates the model with the given configuration.
+    pub fn new(params: PtbConfig) -> Self {
         Ptb { params }
     }
 }
@@ -56,6 +106,7 @@ impl Accelerator for Ptb {
 
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         let p = self.params;
+        let array = p.array();
         let shape = layer.shape;
         let mut machine = Machine::standard();
 
@@ -73,9 +124,9 @@ impl Accelerator for Ptb {
 
         // ---- On-chip: each output-stationary pass streams a K-deep weight
         // tile for `rows` outputs and the spike rows for `cols` timesteps.
-        let passes = p.array.passes((shape.m * shape.n) as u64);
-        let weight_stream = passes * (shape.k * p.array.rows * p.weight_bits / 8) as u64;
-        let input_stream = passes * (shape.k * p.array.cols).div_ceil(8) as u64;
+        let passes = array.passes((shape.m * shape.n) as u64);
+        let weight_stream = passes * (shape.k * array.rows * p.weight_bits / 8) as u64;
+        let input_stream = passes * (shape.k * array.cols).div_ceil(8) as u64;
         machine
             .cache
             .read_untagged(TrafficClass::Weight, weight_stream);
@@ -89,14 +140,29 @@ impl Accelerator for Ptb {
 
         // ---- Compute: dense K-deep reduction per output, derated by the
         // small-T utilization penalty.
-        let ideal = p
-            .array
-            .total_cycles((shape.m * shape.n) as u64, shape.k as u64);
+        let ideal = array.total_cycles((shape.m * shape.n) as u64, shape.k as u64);
         let compute = (ideal.get() as f64 / p.utilization).ceil() as u64;
         machine.stats.ops.accumulates = (shape.m * shape.n * shape.k * shape.t) as u64;
         machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
         machine.finish(&layer.name, &self.name(), compute)
     }
+}
+
+/// The accelerator-catalog entry for this model.
+pub(crate) fn catalog_entry() -> loas_core::ModelEntry {
+    loas_core::ModelEntry::new(
+        "ptb",
+        "PTB: dense, partially temporal-parallel systolic baseline",
+        5,
+        || Box::new(PtbConfig::default()),
+        |config| {
+            let config = config
+                .as_any()
+                .downcast_ref::<PtbConfig>()
+                .expect("ptb entry built with a PtbConfig");
+            Box::new(Ptb::new(*config))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //!   re-scanning `bm-B` each round and re-fetching each matched weight per
 //!   timestep (no temporal reuse of matched pairs).
 //! * Between timestep rounds the join pipeline drains and restarts
-//!   ([`SparTenParams::timestep_restart_cycles`]).
+//!   ([`SparTenConfig::timestep_restart_cycles`]).
 //!
 //! # Two-phase execution (simulator performance)
 //!
@@ -30,14 +30,16 @@
 //! per-access byte rounding stays exact under aggregation; other widths
 //! fall back to the scalar loop.
 
-use crate::common::{Machine, BASELINE_PES};
+use crate::common::{config_builder, Machine, BASELINE_CACHE_BYTES, BASELINE_PES};
 use loas_core::{Accelerator, LayerReport, PreparedLayer, SweepStrategy};
 use loas_sim::{Cycle, TrafficClass};
 use loas_sparse::POINTER_BITS;
 
-/// Microarchitectural parameters of the SparTen-SNN model.
+/// Typed configuration of the SparTen-SNN model (the paper's Section V
+/// parameters by default). Registered in the accelerator catalog as
+/// `"sparten"`, so every field is sweepable through campaign specs.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SparTenParams {
+pub struct SparTenConfig {
     /// Processing elements (paper: 16).
     pub pes: usize,
     /// Inner-join chunk width in bits (SparTen uses 128-bit bitmask words).
@@ -47,36 +49,100 @@ pub struct SparTenParams {
     pub timestep_restart_cycles: u64,
     /// Weight precision in bits.
     pub weight_bits: usize,
+    /// Shared SRAM capacity in bytes (paper: 256 KB).
+    pub cache_bytes: usize,
+    /// Shared SRAM line size in bytes.
+    pub cache_line_bytes: usize,
+    /// Shared SRAM associativity.
+    pub cache_ways: usize,
+    /// Shared SRAM banks.
+    pub cache_banks: usize,
 }
 
-impl Default for SparTenParams {
+impl Default for SparTenConfig {
     fn default() -> Self {
-        SparTenParams {
+        SparTenConfig {
             pes: BASELINE_PES,
             chunk_bits: 128,
             timestep_restart_cycles: 8,
             weight_bits: 8,
+            cache_bytes: BASELINE_CACHE_BYTES,
+            cache_line_bytes: 64,
+            cache_ways: 16,
+            cache_banks: 16,
         }
     }
 }
 
+impl SparTenConfig {
+    /// Checks the cross-field invariants (builder panics on violations;
+    /// the serve spec parser surfaces them as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.pes == 0 {
+            return Err("need at least one PE".to_owned());
+        }
+        if self.chunk_bits == 0 {
+            return Err("degenerate chunk width".to_owned());
+        }
+        crate::common::check_cache_geometry(
+            self.cache_bytes,
+            self.cache_line_bytes,
+            self.cache_ways,
+            self.cache_banks,
+        )
+    }
+
+    fn validated(self) -> Self {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+        self
+    }
+}
+
+config_builder!(SparTenConfig, SparTenConfigBuilder, {
+    pes: usize,
+    chunk_bits: usize,
+    timestep_restart_cycles: u64,
+    weight_bits: usize,
+    cache_bytes: usize,
+    cache_line_bytes: usize,
+    cache_ways: usize,
+    cache_banks: usize,
+});
+
+loas_core::impl_model_config!(SparTenConfig, "sparten", {
+    pes: usize,
+    chunk_bits: usize,
+    timestep_restart_cycles: u64,
+    weight_bits: usize,
+    cache_bytes: usize,
+    cache_line_bytes: usize,
+    cache_ways: usize,
+    cache_banks: usize,
+});
+
 /// The SparTen-SNN baseline model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparTenSnn {
-    params: SparTenParams,
+    params: SparTenConfig,
     sweep: SweepStrategy,
 }
 
 impl Default for SparTenSnn {
     /// Paper parameters, sweep strategy from the `LOAS_SWEEP` environment.
     fn default() -> Self {
-        SparTenSnn::new(SparTenParams::default())
+        SparTenSnn::new(SparTenConfig::default())
     }
 }
 
 impl SparTenSnn {
-    /// Creates the model with default (paper) parameters.
-    pub fn new(params: SparTenParams) -> Self {
+    /// Creates the model with the given configuration.
+    pub fn new(params: SparTenConfig) -> Self {
         SparTenSnn {
             params,
             sweep: SweepStrategy::from_env(),
@@ -105,7 +171,12 @@ impl Accelerator for SparTenSnn {
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         let p = self.params;
         let shape = layer.shape;
-        let mut machine = Machine::standard();
+        let mut machine = Machine::with_cache(
+            p.cache_bytes,
+            p.cache_line_bytes,
+            p.cache_ways,
+            p.cache_banks,
+        );
         let chunks = (shape.k.div_ceil(p.chunk_bits)).max(1) as u64;
 
         // ---- Off-chip: A travels dense (no compression possible on raw
@@ -234,6 +305,23 @@ impl Accelerator for SparTenSnn {
     }
 }
 
+/// The accelerator-catalog entry for this model.
+pub(crate) fn catalog_entry() -> loas_core::ModelEntry {
+    loas_core::ModelEntry::new(
+        "sparten",
+        "SparTen-SNN: inner-product (IP) spMspM baseline with bitmask inner-join",
+        1,
+        || Box::new(SparTenConfig::default()),
+        |config| {
+            let config = config
+                .as_any()
+                .downcast_ref::<SparTenConfig>()
+                .expect("sparten entry built with a SparTenConfig");
+            Box::new(SparTenSnn::new(*config))
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,9 +391,9 @@ mod tests {
 
     #[test]
     fn odd_weight_widths_fall_back_to_the_scalar_sweep() {
-        let model = SparTenSnn::new(SparTenParams {
+        let model = SparTenSnn::new(SparTenConfig {
             weight_bits: 6,
-            ..SparTenParams::default()
+            ..SparTenConfig::default()
         })
         .with_sweep(SweepStrategy::Kernel);
         assert!(!model.kernel_path(), "6-bit weights round per access");

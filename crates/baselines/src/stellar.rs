@@ -8,38 +8,82 @@
 //! window), but it has **no weight sparsity support**: every surviving
 //! input still meets a dense weight column (Table I).
 
-use crate::common::Machine;
+use crate::common::{config_builder, Machine};
 use crate::systolic::SystolicArray;
 use loas_core::{Accelerator, LayerReport, PreparedLayer};
 use loas_sim::TrafficClass;
 
-/// Parameters of the Stellar model.
+/// Typed configuration of the Stellar model. Registered in the
+/// accelerator catalog as `"stellar"`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StellarParams {
-    /// Array geometry (configured to 16 PEs as in the paper comparison).
-    pub array: SystolicArray,
+pub struct StellarConfig {
+    /// Systolic-array rows (configured to 16 PEs as in the paper
+    /// comparison).
+    pub array_rows: usize,
+    /// Systolic-array columns.
+    pub array_cols: usize,
     /// Weight precision in bits.
     pub weight_bits: usize,
 }
 
-impl Default for StellarParams {
+impl Default for StellarConfig {
     fn default() -> Self {
-        StellarParams {
-            array: SystolicArray::new(16, 4),
+        StellarConfig {
+            array_rows: 16,
+            array_cols: 4,
             weight_bits: 8,
         }
     }
 }
 
+impl StellarConfig {
+    /// Checks the cross-field invariants (builder panics on violations;
+    /// the serve spec parser surfaces them as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.array_rows == 0 || self.array_cols == 0 {
+            return Err("empty systolic array".to_owned());
+        }
+        Ok(())
+    }
+
+    fn validated(self) -> Self {
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+        self
+    }
+
+    /// The configured array geometry.
+    pub fn array(&self) -> SystolicArray {
+        SystolicArray::new(self.array_rows, self.array_cols)
+    }
+}
+
+config_builder!(StellarConfig, StellarConfigBuilder, {
+    array_rows: usize,
+    array_cols: usize,
+    weight_bits: usize,
+});
+
+loas_core::impl_model_config!(StellarConfig, "stellar", {
+    array_rows: usize,
+    array_cols: usize,
+    weight_bits: usize,
+});
+
 /// The Stellar dense baseline model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Stellar {
-    params: StellarParams,
+    params: StellarConfig,
 }
 
 impl Stellar {
-    /// Creates the model with the given parameters.
-    pub fn new(params: StellarParams) -> Self {
+    /// Creates the model with the given configuration.
+    pub fn new(params: StellarConfig) -> Self {
         Stellar { params }
     }
 }
@@ -51,6 +95,7 @@ impl Accelerator for Stellar {
 
     fn run_layer(&mut self, layer: &PreparedLayer) -> LayerReport {
         let p = self.params;
+        let array = p.array();
         let shape = layer.shape;
         let mut machine = Machine::standard();
 
@@ -72,10 +117,10 @@ impl Accelerator for Stellar {
         // non-silent neuron count of each row; weights stay dense, so every
         // surviving input costs one cycle against the stationary row.
         let mut compute = 0u64;
-        let tiles = shape.m.div_ceil(p.array.rows);
+        let tiles = shape.m.div_ceil(array.rows);
         let mut weight_stream = 0u64;
         for tile in 0..tiles {
-            let rows = (tile * p.array.rows)..((tile + 1) * p.array.rows).min(shape.m);
+            let rows = (tile * array.rows)..((tile + 1) * array.rows).min(shape.m);
             let tile_outputs = (rows.len() * shape.n) as u64;
             let k_eff = rows
                 .map(|m| layer.a_fibers[m].nnz() as u64)
@@ -83,9 +128,9 @@ impl Accelerator for Stellar {
                 .unwrap_or(0);
             // Every 16 outputs of the tile form one pass of depth k_eff
             // (the non-silent neurons; zero spikes are skipped).
-            let passes = p.array.passes(tile_outputs);
-            compute += passes * p.array.pass_cycles(k_eff);
-            weight_stream += passes * (k_eff * p.array.rows as u64 * p.weight_bits as u64) / 8;
+            let passes = array.passes(tile_outputs);
+            compute += passes * array.pass_cycles(k_eff);
+            weight_stream += passes * (k_eff * array.rows as u64 * p.weight_bits as u64) / 8;
             machine.stats.ops.accumulates += tile_outputs * k_eff * shape.t as u64;
         }
         machine
@@ -93,7 +138,7 @@ impl Accelerator for Stellar {
             .read_untagged(TrafficClass::Weight, weight_stream);
         machine.cache.read_untagged(
             TrafficClass::Input,
-            (layer.a_nnz() * shape.t).div_ceil(8) as u64 * shape.n.div_ceil(p.array.rows) as u64,
+            (layer.a_nnz() * shape.t).div_ceil(8) as u64 * shape.n.div_ceil(array.rows) as u64,
         );
         machine.cache.write(
             TrafficClass::Output,
@@ -102,6 +147,23 @@ impl Accelerator for Stellar {
         machine.stats.ops.lif_updates = (shape.m * shape.n * shape.t) as u64;
         machine.finish(&layer.name, &self.name(), compute)
     }
+}
+
+/// The accelerator-catalog entry for this model.
+pub(crate) fn catalog_entry() -> loas_core::ModelEntry {
+    loas_core::ModelEntry::new(
+        "stellar",
+        "Stellar: dense fully temporal-parallel FS-neuron baseline",
+        6,
+        || Box::new(StellarConfig::default()),
+        |config| {
+            let config = config
+                .as_any()
+                .downcast_ref::<StellarConfig>()
+                .expect("stellar entry built with a StellarConfig");
+            Box::new(Stellar::new(*config))
+        },
+    )
 }
 
 #[cfg(test)]

@@ -61,13 +61,13 @@ impl Design {
     /// The engine-level accelerator spec this design runs as.
     pub fn accelerator_spec(self) -> AcceleratorSpec {
         match self {
-            Design::SparTen => AcceleratorSpec::SparTen,
-            Design::Gospa => AcceleratorSpec::Gospa,
-            Design::Gamma => AcceleratorSpec::Gamma,
+            Design::SparTen => AcceleratorSpec::sparten(),
+            Design::Gospa => AcceleratorSpec::gospa(),
+            Design::Gamma => AcceleratorSpec::gamma(),
             Design::Loas => AcceleratorSpec::loas(),
             Design::LoasFt => AcceleratorSpec::loas_ft(),
-            Design::Ptb => AcceleratorSpec::Ptb,
-            Design::Stellar => AcceleratorSpec::Stellar,
+            Design::Ptb => AcceleratorSpec::ptb(),
+            Design::Stellar => AcceleratorSpec::stellar(),
         }
     }
 }

@@ -24,18 +24,18 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     let ftp_job = campaign.push_layer(workload.clone(), AcceleratorSpec::loas());
     let seq_job = campaign.push_layer(
         workload.clone(),
-        AcceleratorSpec::Loas(LoasConfig::builder().temporal_parallel(false).build()),
+        AcceleratorSpec::loas_with(LoasConfig::builder().temporal_parallel(false).build()),
     );
     let two_fast_job = campaign.push_layer(
         workload.clone(),
-        AcceleratorSpec::Loas(LoasConfig::builder().two_fast_prefix(true).build()),
+        AcceleratorSpec::loas_with(LoasConfig::builder().two_fast_prefix(true).build()),
     );
     let cache_jobs: Vec<usize> = CACHE_POINTS_KB
         .iter()
         .map(|&kb| {
             campaign.push_layer(
                 workload.clone(),
-                AcceleratorSpec::Loas(LoasConfig::builder().cache_bytes(kb * 1024).build()),
+                AcceleratorSpec::loas_with(LoasConfig::builder().cache_bytes(kb * 1024).build()),
             )
         })
         .collect();

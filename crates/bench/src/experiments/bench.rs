@@ -79,10 +79,10 @@ fn model_for(design: Design, sweep: SweepStrategy) -> Box<dyn Accelerator + Send
     match design {
         Design::SparTen => Box::new(loas_baselines::SparTenSnn::default().with_sweep(sweep)),
         Design::Loas | Design::LoasFt => {
-            let loas_engine::AcceleratorSpec::Loas(config) = design.accelerator_spec() else {
-                unreachable!("LoAS designs map to LoAS specs");
-            };
-            Box::new(loas_core::Loas::new(config).with_sweep(sweep))
+            let spec = design.accelerator_spec();
+            let config: &loas_core::LoasConfig =
+                spec.typed_config().expect("LoAS designs map to LoAS specs");
+            Box::new(loas_core::Loas::new(config.clone()).with_sweep(sweep))
         }
         _ => design.accelerator_spec().build(),
     }

@@ -80,7 +80,8 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
             shape.t = t;
             let workload = WorkloadSpec::new(format!("fig16-T{t}"), shape, profile)
                 .with_seed(ctx.generator().seed());
-            let accelerator = AcceleratorSpec::Loas(LoasConfig::builder().timesteps(t).build());
+            let accelerator =
+                AcceleratorSpec::loas_with(LoasConfig::builder().timesteps(t).build());
             Some((t, campaign.push_layer(workload, accelerator)))
         })
         .collect();

@@ -75,7 +75,7 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     spec8.layers = spec8.layers.iter().map(|l| ctx.shrink_layer(l)).collect();
     let t8_jobs = campaign.push_network(
         &spec8,
-        AcceleratorSpec::Loas(LoasConfig::builder().timesteps(8).build()),
+        AcceleratorSpec::loas_with(LoasConfig::builder().timesteps(8).build()),
         ctx.generator().seed(),
     );
 

@@ -1,15 +1,18 @@
 //! Architectural scaling sweeps beyond the paper's figures: TPPE count,
-//! off-chip bandwidth, and timestep count. These probe the design points the
-//! paper's discussion section gestures at (scaling LoAS up, and how far the
-//! FTP advantage carries as `T` grows toward the silent-neuron erosion of
-//! Fig. 16(b)).
+//! off-chip bandwidth, timestep count, and — through the open accelerator
+//! catalog — a **baseline**-config sweep (Gamma-SNN's FiberCache
+//! capacity, the ablation knob the Gamma paper itself sweeps). These
+//! probe the design points the paper's discussion section gestures at
+//! (scaling LoAS up, and how far the FTP advantage carries as `T` grows
+//! toward the silent-neuron erosion of Fig. 16(b)).
 //!
-//! All three sweeps run as **one campaign**: the V-L8 workload is prepared
-//! once and shared by the nine configuration-variant jobs, and the
+//! All four sweeps run as **one campaign**: the V-L8 workload is prepared
+//! once and shared by the configuration-variant jobs, and the
 //! timestep-sweep workloads ride in the same sharded batch.
 
 use crate::context::Context;
 use crate::report::{num, ratio, Table};
+use loas_baselines::GammaConfig;
 use loas_core::LoasConfig;
 use loas_engine::{AcceleratorSpec, Campaign, WorkloadSpec};
 use loas_workloads::networks::{self, profiles};
@@ -18,8 +21,11 @@ use loas_workloads::TemporalScalingModel;
 const TPPE_POINTS: [usize; 4] = [4, 8, 16, 32];
 const BW_POINTS: [f64; 5] = [16.0, 32.0, 64.0, 128.0, 256.0];
 const T_POINTS: [usize; 4] = [2, 4, 8, 16];
+/// Shared with `loas-serve spec --gamma-cache`, so the served sweep and
+/// this table can never drift apart.
+const GAMMA_CACHE_POINTS: [usize; 4] = GammaConfig::CACHE_SWEEP_POINTS;
 
-/// Runs the three sweeps.
+/// Runs the four sweeps.
 pub fn run(ctx: &mut Context) -> Vec<Table> {
     let v_l8_spec = ctx.shrink_layer(&networks::selected_layers()[1]);
     let v_l8 = ctx.workload_spec(&v_l8_spec);
@@ -31,7 +37,7 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         .map(|&tppes| {
             campaign.push_layer(
                 v_l8.clone(),
-                AcceleratorSpec::Loas(LoasConfig::builder().tppes(tppes).build()),
+                AcceleratorSpec::loas_with(LoasConfig::builder().tppes(tppes).build()),
             )
         })
         .collect();
@@ -40,7 +46,7 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
         .map(|&gbps| {
             campaign.push_layer(
                 v_l8.clone(),
-                AcceleratorSpec::Loas(LoasConfig::builder().hbm_gbps(gbps).build()),
+                AcceleratorSpec::loas_with(LoasConfig::builder().hbm_gbps(gbps).build()),
             )
         })
         .collect();
@@ -66,10 +72,21 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
             .with_seed(ctx.generator().seed());
         let job = campaign.push_layer(
             workload,
-            AcceleratorSpec::Loas(LoasConfig::builder().timesteps(t).build()),
+            AcceleratorSpec::loas_with(LoasConfig::builder().timesteps(t).build()),
         );
         t_jobs.push((t, job));
     }
+    // Baseline-config sweep via the catalog: Gamma-SNN's FiberCache
+    // capacity, a typed non-LoAS config riding in the same campaign.
+    let gamma_jobs: Vec<usize> = GAMMA_CACHE_POINTS
+        .iter()
+        .map(|&bytes| {
+            campaign.push_layer(
+                v_l8.clone(),
+                AcceleratorSpec::from_config(GammaConfig::builder().cache_bytes(bytes).build()),
+            )
+        })
+        .collect();
     let outcome = ctx.run_campaign(&campaign);
 
     // ---- Sweep 1: TPPE count (spatial scaling). V-L8 has M = 16 rows, so
@@ -140,7 +157,28 @@ pub fn run(ctx: &mut Context) -> Vec<Table> {
     tsweep.push_note(
         "FTP amortizes timesteps: cycles grow sublinearly in T until silence erodes (Fig. 16(b))",
     );
-    vec![pes, bw, tsweep]
+
+    // ---- Sweep 4: Gamma-SNN FiberCache capacity — the baseline-config
+    // sweep the closed-enum spec layer could not express.
+    let mut gamma = Table::new(
+        "Sweep — Gamma-SNN FiberCache capacity (V-L8)",
+        vec!["cache", "cycles", "DRAM bytes", "miss rate"],
+    );
+    for (&bytes, &job) in GAMMA_CACHE_POINTS.iter().zip(&gamma_jobs) {
+        let report = outcome.layer_report(job);
+        gamma.push_row(
+            format!("{}KB", bytes / 1024),
+            vec![
+                format!("{}", report.stats.cycles.get()),
+                format!("{}", report.stats.dram.total()),
+                num(report.stats.cache.miss_rate()),
+            ],
+        );
+    }
+    gamma.push_note(
+        "typed GammaConfig jobs through the accelerator catalog: capacity relieves the t-repeated fiber refetches",
+    );
+    vec![pes, bw, tsweep, gamma]
 }
 
 #[cfg(test)]
@@ -151,10 +189,26 @@ mod tests {
     fn sweeps_render_consistently() {
         let mut ctx = Context::quick();
         let tables = run(&mut ctx);
-        assert_eq!(tables.len(), 3);
+        assert_eq!(tables.len(), 4);
         for t in &tables {
             assert!(t.is_consistent(), "{}", t.title);
         }
+    }
+
+    #[test]
+    fn gamma_cache_capacity_relieves_dram_traffic() {
+        let mut ctx = Context::quick();
+        let tables = run(&mut ctx);
+        let dram: Vec<u64> = tables[3]
+            .rows
+            .iter()
+            .map(|(_, c)| c[1].parse().unwrap())
+            .collect();
+        assert_eq!(dram.len(), GAMMA_CACHE_POINTS.len());
+        assert!(
+            dram.windows(2).all(|w| w[1] <= w[0]),
+            "a larger FiberCache must never add DRAM traffic: {dram:?}"
+        );
     }
 
     #[test]

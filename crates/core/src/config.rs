@@ -93,6 +93,41 @@ impl LoasConfig {
         }
     }
 
+    /// Checks the cross-field invariants the simulator relies on (the
+    /// builder panics on violations; the serve spec parser surfaces them
+    /// as schema errors).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first degenerate field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.tppes == 0 {
+            return Err("need at least one TPPE".to_owned());
+        }
+        if self.timesteps == 0 || self.timesteps > loas_sparse::MAX_TIMESTEPS {
+            return Err(format!(
+                "timesteps must be in 1..={}",
+                loas_sparse::MAX_TIMESTEPS
+            ));
+        }
+        if self.laggy_adders == 0 {
+            return Err("laggy prefix-sum needs adders".to_owned());
+        }
+        if self.bitmask_bits == 0 {
+            return Err("degenerate bitmask width".to_owned());
+        }
+        if self.cache_line_bytes == 0 || self.cache_ways == 0 || self.cache_banks == 0 {
+            return Err("degenerate cache geometry".to_owned());
+        }
+        if self.cache_bytes < self.cache_line_bytes * self.cache_ways {
+            return Err("cache capacity below one set".to_owned());
+        }
+        if self.hbm_gbps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err("off-chip bandwidth must be positive".to_owned());
+        }
+        Ok(())
+    }
+
     /// Laggy prefix-sum latency over one bitmask chunk:
     /// `bitmask_bits / laggy_adders` cycles (8 with Table III values).
     pub fn laggy_latency_cycles(&self) -> u64 {
@@ -133,6 +168,28 @@ impl Default for LoasConfig {
         Self::table3()
     }
 }
+
+// Catalog introspection: field order mirrors `write_content` exactly (the
+// "loas" entry hashes these values raw, reproducing the legacy layout).
+crate::impl_model_config!(LoasConfig, "loas", {
+    tppes: usize,
+    timesteps: usize,
+    weight_bits: usize,
+    bitmask_bits: usize,
+    laggy_adders: usize,
+    fifo_depth: usize,
+    weight_buffer_bytes: usize,
+    cache_bytes: usize,
+    cache_banks: usize,
+    cache_ways: usize,
+    cache_line_bytes: usize,
+    hbm_gbps: f64,
+    hbm_channels: usize,
+    crossbar_bus_bytes: usize,
+    discard_low_activity_outputs: bool,
+    temporal_parallel: bool,
+    two_fast_prefix: bool,
+});
 
 /// Builder for [`LoasConfig`] (non-consuming terminal, Table III defaults).
 #[derive(Debug, Clone)]
@@ -188,16 +245,11 @@ impl LoasConfigBuilder {
     /// # Panics
     ///
     /// Panics on degenerate values (zero TPPEs, zero timesteps, timesteps
-    /// beyond the packed-word limit).
+    /// beyond the packed-word limit — see [`LoasConfig::check`]).
     pub fn build(self) -> LoasConfig {
-        let c = &self.config;
-        assert!(c.tppes > 0, "need at least one TPPE");
-        assert!(
-            c.timesteps > 0 && c.timesteps <= loas_sparse::MAX_TIMESTEPS,
-            "timesteps must be in 1..={}",
-            loas_sparse::MAX_TIMESTEPS
-        );
-        assert!(c.laggy_adders > 0, "laggy prefix-sum needs adders");
+        if let Err(message) = self.config.check() {
+            panic!("{message}");
+        }
         self.config
     }
 }

@@ -26,7 +26,11 @@
 //! * [`AreaPowerModel`] — the Table IV / Fig. 15 / Fig. 16(a) area & power
 //!   model;
 //! * [`PreparedLayer`] / [`Accelerator`] / [`LayerReport`] — the shared
-//!   workload and reporting interface all baseline models implement too.
+//!   workload and reporting interface all baseline models implement too;
+//! * [`catalog`] — the open accelerator catalog: models register a stable
+//!   name, a typed [`ModelConfig`], a content-hash contribution, and a
+//!   boxed-[`Accelerator`] factory, and every downstream layer (campaign
+//!   specs, memo keys, the serve JSON schema) dispatches through it.
 //!
 //! # Examples
 //!
@@ -46,6 +50,7 @@
 mod accelerator;
 mod accumulator;
 mod area_power;
+pub mod catalog;
 pub mod compress;
 mod compressor;
 mod config;
@@ -62,6 +67,7 @@ mod tppe;
 pub use accelerator::{Loas, SweepStrategy};
 pub use accumulator::{Accumulator, AccumulatorBank};
 pub use area_power::AreaPowerModel;
+pub use catalog::{Catalog, CatalogError, ConfigValue, ModelConfig, ModelEntry};
 pub use compressor::{CompressedRow, Compressor};
 pub use config::{LoasConfig, LoasConfigBuilder};
 pub use hash::ContentHasher;

@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn silent_row_outputs_nothing() {
-        let fa = SpikeFiber::from_packed_row(&vec![PackedSpikes::silent(4).unwrap(); 8]);
+        let fa = SpikeFiber::from_packed_row(&[PackedSpikes::silent(4).unwrap(); 8]);
         let mut dense = vec![0i8; 8];
         dense[3] = 7;
         let fb = WeightFiber::from_weights(&dense);

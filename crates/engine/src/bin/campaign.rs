@@ -95,7 +95,7 @@ fn comparison_table(outcome: &loas_engine::CampaignOutcome) {
     // SparTen-SNN job on the same layer (the Fig. 12-style normalization).
     let fleet: Vec<String> = AcceleratorSpec::headline_fleet()
         .iter()
-        .map(AcceleratorSpec::name)
+        .map(AcceleratorSpec::display_name)
         .collect();
     let per_layer = fleet.len();
     println!("\nspeedup over SparTen-SNN (per selected layer):");

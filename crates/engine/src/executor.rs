@@ -320,7 +320,7 @@ impl Engine {
                 // silently substitute another job's metrics.
                 Some(report)
                     if report.workload == job.workload.reported_name()
-                        && report.accelerator == job.accelerator.name() =>
+                        && report.accelerator == job.accelerator.display_name() =>
                 {
                     replayed.push((index, report));
                 }

@@ -49,7 +49,7 @@
 //! let layer = WorkloadSpec::new("demo", LayerShape::new(4, 8, 16, 128), profile);
 //! let mut campaign = Campaign::new("demo");
 //! let loas = campaign.push_layer(layer.clone(), AcceleratorSpec::loas());
-//! let sparten = campaign.push_layer(layer, AcceleratorSpec::SparTen);
+//! let sparten = campaign.push_layer(layer, AcceleratorSpec::sparten());
 //!
 //! let engine = Engine::new(2);
 //! let outcome = engine.run(&campaign)?;

@@ -210,8 +210,11 @@ mod tests {
             a.memo_key(),
             job("other", AcceleratorSpec::loas()).memo_key()
         );
-        assert_ne!(a.memo_key(), job("w", AcceleratorSpec::SparTen).memo_key());
-        let tweaked = AcceleratorSpec::Loas(LoasConfig::builder().timesteps(8).build());
+        assert_ne!(
+            a.memo_key(),
+            job("w", AcceleratorSpec::sparten()).memo_key()
+        );
+        let tweaked = AcceleratorSpec::loas_with(LoasConfig::builder().timesteps(8).build());
         assert_ne!(a.memo_key(), job("w", tweaked).memo_key());
         // Stable across processes: a fixed spec hashes to a fixed digest.
         assert_eq!(a.memo_key(), a.clone().memo_key());
@@ -234,7 +237,7 @@ mod tests {
     #[test]
     fn corrupt_entries_read_as_misses() {
         let store = temp_store("corrupt");
-        let key = job("w", AcceleratorSpec::Gamma).memo_key();
+        let key = job("w", AcceleratorSpec::gamma()).memo_key();
         std::fs::write(store.entry_path(key), "not a report").unwrap();
         assert!(store.load(key).is_none());
         let _ = std::fs::remove_dir_all(store.dir());

@@ -6,11 +6,17 @@
 //! explicit seed through their workload spec, so a campaign is a complete,
 //! reproducible description of an experiment sweep.
 
-use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
-use loas_core::{Accelerator, Loas, LoasConfig, PreparedLayer};
+use loas_core::{catalog, Accelerator, CatalogError, LoasConfig, ModelConfig, PreparedLayer};
 use loas_workloads::networks::{LayerSpec, NetworkSpec};
 use loas_workloads::{LayerShape, SparsityProfile, WorkloadError, WorkloadGenerator};
 use std::ops::Range;
+
+/// Makes sure every workspace model is registered in the process-global
+/// accelerator catalog before a lookup. `loas-core` seeds the catalog with
+/// LoAS; the baselines register through their crate's idempotent hook.
+fn ensure_catalog() {
+    loas_baselines::register_catalog();
+}
 
 pub use loas_workloads::DEFAULT_SEED;
 
@@ -173,37 +179,116 @@ impl WorkloadSpec {
     }
 }
 
-/// A buildable accelerator model: the engine's enum dispatcher over every
-/// design in the workspace. Each job owns a spec and builds a fresh model,
+/// A buildable accelerator model: a stable catalog name paired with a
+/// typed configuration, resolved through the process-global
+/// [`loas_core::catalog`]. Each job owns a spec and builds a fresh model,
 /// so heterogeneous fleets sit in one queue and results never depend on
-/// worker count or execution order.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AcceleratorSpec {
-    /// SparTen-SNN (inner-product baseline).
-    SparTen,
-    /// GoSPA-SNN (outer-product baseline).
-    Gospa,
-    /// Gamma-SNN (Gustavson baseline).
-    Gamma,
-    /// LoAS with an explicit configuration (covers the FT discard mode and
-    /// every ablation/sweep override).
-    Loas(LoasConfig),
-    /// PTB (dense, partially temporal-parallel).
-    Ptb,
-    /// Stellar (dense, FS neurons).
-    Stellar,
+/// worker count or execution order. Because dispatch is a registry lookup,
+/// adding a model never touches this crate: register a
+/// [`loas_core::ModelEntry`] and the name becomes buildable, memoizable,
+/// and expressible in serve specs.
+#[derive(Debug, Clone)]
+pub struct AcceleratorSpec {
+    model: String,
+    config: Box<dyn ModelConfig>,
+}
+
+impl PartialEq for AcceleratorSpec {
+    /// Specs are equal when they name the same model with the same
+    /// configuration field values (floats by bit pattern).
+    fn eq(&self, other: &Self) -> bool {
+        self.model == other.model && *self.config == *other.config
+    }
 }
 
 impl AcceleratorSpec {
+    /// A spec for the named catalog model at its default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::UnknownModel`] when no model registered the name.
+    pub fn by_name(name: &str) -> Result<Self, CatalogError> {
+        ensure_catalog();
+        catalog::with(|catalog| {
+            let entry = catalog
+                .get(name)
+                .ok_or_else(|| CatalogError::UnknownModel(name.to_owned()))?;
+            Ok(AcceleratorSpec {
+                model: entry.name().to_owned(),
+                config: entry.default_config(),
+            })
+        })
+    }
+
+    /// A spec from an explicit typed configuration (the model name comes
+    /// from [`ModelConfig::model`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no [`loas_core::ModelEntry`] is registered under the
+    /// config's model name — a config type without a catalog entry can
+    /// never be built, so the mistake surfaces here, at the construction
+    /// site, instead of inside a worker thread mid-campaign.
+    pub fn from_config(config: impl ModelConfig) -> Self {
+        ensure_catalog();
+        let model = config.model();
+        assert!(
+            catalog::with(|catalog| catalog.get(model).is_some()),
+            "model `{model}` has a ModelConfig but no registered catalog entry;              call loas_core::catalog::register before building specs"
+        );
+        AcceleratorSpec {
+            model: model.to_owned(),
+            config: Box::new(config),
+        }
+    }
+
+    /// Every model name currently registered in the catalog, in
+    /// registration order.
+    pub fn known_models() -> Vec<&'static str> {
+        ensure_catalog();
+        catalog::with(|catalog| catalog.names())
+    }
+
+    /// SparTen-SNN at the paper configuration.
+    pub fn sparten() -> Self {
+        Self::by_name("sparten").expect("builtin model")
+    }
+
+    /// GoSPA-SNN at the paper configuration.
+    pub fn gospa() -> Self {
+        Self::by_name("gospa").expect("builtin model")
+    }
+
+    /// Gamma-SNN at the paper configuration.
+    pub fn gamma() -> Self {
+        Self::by_name("gamma").expect("builtin model")
+    }
+
+    /// PTB at the paper configuration.
+    pub fn ptb() -> Self {
+        Self::by_name("ptb").expect("builtin model")
+    }
+
+    /// Stellar at the paper configuration.
+    pub fn stellar() -> Self {
+        Self::by_name("stellar").expect("builtin model")
+    }
+
     /// LoAS at the paper's Table III configuration.
     pub fn loas() -> Self {
-        AcceleratorSpec::Loas(LoasConfig::table3())
+        Self::from_config(LoasConfig::table3())
+    }
+
+    /// LoAS with an explicit configuration (covers the FT discard mode and
+    /// every ablation/sweep override).
+    pub fn loas_with(config: LoasConfig) -> Self {
+        Self::from_config(config)
     }
 
     /// LoAS in fine-tuned mode (low-activity outputs discarded); pair with
     /// [`WorkloadSpec::fine_tuned`] workloads.
     pub fn loas_ft() -> Self {
-        AcceleratorSpec::Loas(
+        Self::from_config(
             LoasConfig::builder()
                 .discard_low_activity_outputs(true)
                 .build(),
@@ -214,55 +299,79 @@ impl AcceleratorSpec {
     /// LoAS, LoAS(FT), and the two dense temporal-parallel designs.
     pub fn headline_fleet() -> Vec<AcceleratorSpec> {
         vec![
-            AcceleratorSpec::SparTen,
-            AcceleratorSpec::Gospa,
-            AcceleratorSpec::Gamma,
+            AcceleratorSpec::sparten(),
+            AcceleratorSpec::gospa(),
+            AcceleratorSpec::gamma(),
             AcceleratorSpec::loas(),
             AcceleratorSpec::loas_ft(),
-            AcceleratorSpec::Ptb,
-            AcceleratorSpec::Stellar,
+            AcceleratorSpec::ptb(),
+            AcceleratorSpec::stellar(),
         ]
+    }
+
+    /// The stable catalog name this spec dispatches to (also the spec-JSON
+    /// `accelerator.name`).
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The typed configuration.
+    pub fn config(&self) -> &dyn ModelConfig {
+        self.config.as_ref()
+    }
+
+    /// Mutable access to the typed configuration (spec parsing applies
+    /// field overrides through this).
+    pub fn config_mut(&mut self) -> &mut dyn ModelConfig {
+        self.config.as_mut()
+    }
+
+    /// The configuration downcast to its concrete type.
+    pub fn typed_config<C: ModelConfig>(&self) -> Option<&C> {
+        self.config.as_any().downcast_ref()
+    }
+
+    /// Runs `f` with this spec's catalog entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model was never registered — impossible for specs
+    /// built through this type's constructors, which resolve the name at
+    /// construction time.
+    fn with_entry<R>(&self, f: impl FnOnce(&loas_core::ModelEntry) -> R) -> R {
+        ensure_catalog();
+        catalog::with(|catalog| {
+            let entry = catalog
+                .get(&self.model)
+                .unwrap_or_else(|| panic!("model `{}` not in the catalog", self.model));
+            f(entry)
+        })
     }
 
     /// Whether this spec should consume the fine-tuned (masked) variant of
     /// its workload.
     pub fn wants_fine_tuned_workload(&self) -> bool {
-        matches!(self, AcceleratorSpec::Loas(cfg) if cfg.discard_low_activity_outputs)
+        self.with_entry(|entry| entry.config_wants_fine_tuned(self.config.as_ref()))
     }
 
     /// Builds a fresh boxed model. Models are cheap to construct; all
     /// expensive state lives in the prepared workload.
     pub fn build(&self) -> Box<dyn Accelerator + Send> {
-        match self {
-            AcceleratorSpec::SparTen => Box::new(SparTenSnn::default()),
-            AcceleratorSpec::Gospa => Box::new(GospaSnn::default()),
-            AcceleratorSpec::Gamma => Box::new(GammaSnn::default()),
-            AcceleratorSpec::Loas(config) => Box::new(Loas::new(config.clone())),
-            AcceleratorSpec::Ptb => Box::new(Ptb::default()),
-            AcceleratorSpec::Stellar => Box::new(Stellar::default()),
-        }
+        self.with_entry(|entry| entry.build(self.config.as_ref()))
     }
 
-    /// The model-reported display name.
-    pub fn name(&self) -> String {
+    /// The model-reported display name (used in job labels and reports;
+    /// distinct from the stable catalog [`model`](Self::model) name).
+    pub fn display_name(&self) -> String {
         self.build().name()
     }
 
-    /// Absorbs the accelerator's identifying content into a stable hash: a
-    /// per-variant discriminant plus, for [`AcceleratorSpec::Loas`], every
-    /// configuration field.
+    /// Absorbs the accelerator's identifying content into a stable hash
+    /// via its catalog entry: the model's legacy discriminant plus its
+    /// configuration contribution (see [`loas_core::ModelEntry::write_content`]
+    /// for the default-preserving layout).
     pub fn write_content(&self, hasher: &mut loas_core::ContentHasher) {
-        match self {
-            AcceleratorSpec::SparTen => hasher.write_u64(1),
-            AcceleratorSpec::Gospa => hasher.write_u64(2),
-            AcceleratorSpec::Gamma => hasher.write_u64(3),
-            AcceleratorSpec::Loas(config) => {
-                hasher.write_u64(4);
-                config.write_content(hasher);
-            }
-            AcceleratorSpec::Ptb => hasher.write_u64(5),
-            AcceleratorSpec::Stellar => hasher.write_u64(6),
-        }
+        self.with_entry(|entry| entry.write_content(self.config.as_ref(), hasher));
     }
 }
 
@@ -287,7 +396,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// A standalone-layer job with an auto-generated label.
     pub fn new(workload: WorkloadSpec, accelerator: AcceleratorSpec) -> Self {
-        let label = format!("{} @ {}", workload.name, accelerator.name());
+        let label = format!("{} @ {}", workload.name, accelerator.display_name());
         JobSpec {
             label,
             network: None,
@@ -357,7 +466,12 @@ impl Campaign {
             if accelerator.wants_fine_tuned_workload() {
                 workload = workload.fine_tuned();
             }
-            let label = format!("{}/{} @ {}", network.name, layer.name, accelerator.name());
+            let label = format!(
+                "{}/{} @ {}",
+                network.name,
+                layer.name,
+                accelerator.display_name()
+            );
             self.push(JobSpec {
                 label,
                 network: Some(network.name.clone()),
@@ -463,7 +577,7 @@ mod tests {
     fn fleet_builds_heterogeneous_boxed_models() {
         let fleet = AcceleratorSpec::headline_fleet();
         assert_eq!(fleet.len(), 7);
-        let names: Vec<String> = fleet.iter().map(AcceleratorSpec::name).collect();
+        let names: Vec<String> = fleet.iter().map(AcceleratorSpec::display_name).collect();
         assert!(names.contains(&"SparTen-SNN".to_owned()));
         assert!(names.contains(&"LoAS".to_owned()));
         // The FT spec asks for the masked workload; plain LoAS does not.

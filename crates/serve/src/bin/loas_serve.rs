@@ -3,26 +3,40 @@
 //!
 //! ```text
 //! loas-serve init <dir>
-//! loas-serve spec --headline [--quick] [--seed S]
-//! loas-serve enqueue <dir> (<spec.json> | --headline [--quick] [--seed S])
+//! loas-serve spec (--headline | --gamma-cache) [--quick] [--seed S]
+//! loas-serve enqueue <dir> (<spec.json> | <spec-dir> | <manifest> |
+//!                           --headline | --gamma-cache) [--quick] [--seed S]
 //! loas-serve run <dir> [--shard K/N] [--workers W] [--no-store]
 //!                      [--cache-capacity N] [--watch [--poll-ms P] [--idle-ms I]]
 //! loas-serve merge <dir> <campaign-id> --shards N
+//! loas-serve requeue <dir> <campaign-id>
+//! loas-serve fsck <dir> [--prune]
 //! loas-serve status <dir>
 //! ```
 
-use loas_serve::spec_io::{campaign_to_json, headline_campaign};
-use loas_serve::{drain, merge, watch, Queue, RunOptions, ServeError, ShardSpec};
+use loas_serve::spec_io::{campaign_to_json, gamma_cache_campaign, headline_campaign};
+use loas_serve::{
+    collect_spec_paths, drain, enqueue_batch, fsck, merge, requeue, watch, Queue, RunOptions,
+    ServeError, ShardSpec,
+};
 use std::time::Duration;
 
-const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|status> ...
+const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|requeue|fsck|status> ...
   init <dir>                                   create a queue directory
-  spec --headline [--quick] [--seed S]         print a campaign spec to stdout
-  enqueue <dir> <spec.json>                    submit a campaign spec file
-  enqueue <dir> --headline [--quick] [--seed S]  submit the built-in headline campaign
+  spec (--headline | --gamma-cache) [--quick] [--seed S]
+                                               print a built-in campaign spec to stdout
+  enqueue <dir> <spec.json>                    submit one campaign spec file
+  enqueue <dir> <spec-dir | manifest>          submit a batch: every *.json in a
+                                               directory, or the spec paths listed in a
+                                               manifest file (one per line, # comments)
+  enqueue <dir> (--headline | --gamma-cache) [--quick] [--seed S]
+                                               submit a built-in campaign
   run <dir> [--shard K/N] [--workers W] [--no-store] [--cache-capacity N]
             [--watch [--poll-ms P] [--idle-ms I]]  drain the queue (one shard per process)
   merge <dir> <campaign-id> --shards N         merge shard reports into report.jsonl
+  requeue <dir> <campaign-id>                  reset a failed campaign to queued
+  fsck <dir> [--prune]                         integrity-check the memo store and
+                                               reports tree (prune corruption/orphans)
   status <dir>                                 list submissions and their states";
 
 fn main() {
@@ -33,6 +47,8 @@ fn main() {
         Some("enqueue") => cmd_enqueue(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("requeue") => cmd_requeue(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
@@ -59,10 +75,16 @@ fn cmd_init(args: &[String]) -> Result<(), ServeError> {
     Ok(())
 }
 
-/// Parses the `--headline [--quick] [--seed S]` spec-source flags.
-fn headline_flags(args: &[String]) -> Result<Option<String>, ServeError> {
-    if !args.iter().any(|a| a == "--headline") {
+/// Parses the built-in spec-source flags (`--headline` or `--gamma-cache`,
+/// with `[--quick] [--seed S]`).
+fn builtin_spec_flags(args: &[String]) -> Result<Option<String>, ServeError> {
+    let headline = args.iter().any(|a| a == "--headline");
+    let gamma_cache = args.iter().any(|a| a == "--gamma-cache");
+    if !headline && !gamma_cache {
         return Ok(None);
+    }
+    if headline && gamma_cache {
+        return Err(usage("pick one of --headline / --gamma-cache"));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let seed = match args.iter().position(|a| a == "--seed") {
@@ -72,12 +94,17 @@ fn headline_flags(args: &[String]) -> Result<Option<String>, ServeError> {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| usage("--seed needs an integer value"))?,
     };
-    Ok(Some(campaign_to_json(&headline_campaign(quick, seed))))
+    let campaign = if headline {
+        headline_campaign(quick, seed)
+    } else {
+        gamma_cache_campaign(quick, seed)
+    };
+    Ok(Some(campaign_to_json(&campaign)))
 }
 
 fn cmd_spec(args: &[String]) -> Result<(), ServeError> {
-    let Some(spec) = headline_flags(args)? else {
-        return Err(usage("spec requires --headline"));
+    let Some(spec) = builtin_spec_flags(args)? else {
+        return Err(usage("spec requires --headline or --gamma-cache"));
     };
     print!("{spec}");
     Ok(())
@@ -88,23 +115,28 @@ fn cmd_enqueue(args: &[String]) -> Result<(), ServeError> {
         return Err(usage("enqueue needs a queue directory"));
     };
     let queue = Queue::open(dir)?;
-    let spec = match headline_flags(&args[1..])? {
-        Some(spec) => spec,
+    let submissions = match builtin_spec_flags(&args[1..])? {
+        Some(spec) => vec![queue.enqueue(&spec)?],
         None => {
             let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                return Err(usage("enqueue needs a spec file or --headline"));
+                return Err(usage(
+                    "enqueue needs a spec file/directory/manifest or --headline/--gamma-cache",
+                ));
             };
-            std::fs::read_to_string(path).map_err(|source| ServeError::Io {
-                path: path.into(),
-                source,
-            })?
+            // A directory or manifest expands to a validated batch; a
+            // plain .json file is a batch of one.
+            enqueue_batch(&queue, &collect_spec_paths(path)?)?
         }
     };
-    let submission = queue.enqueue(&spec)?;
-    println!(
-        "enqueued campaign {:05} `{}` ({} jobs)",
-        submission.id, submission.name, submission.jobs
-    );
+    for submission in &submissions {
+        println!(
+            "enqueued campaign {:05} `{}` ({} jobs)",
+            submission.id, submission.name, submission.jobs
+        );
+    }
+    if submissions.len() > 1 {
+        println!("batch: {} campaigns submitted", submissions.len());
+    }
     Ok(())
 }
 
@@ -191,6 +223,57 @@ fn cmd_merge(args: &[String]) -> Result<(), ServeError> {
         "merged {shards} shard(s) of campaign {id:05} into {} ({jobs} jobs)",
         queue.report_dir(id).join("report.jsonl").display()
     );
+    Ok(())
+}
+
+fn cmd_requeue(args: &[String]) -> Result<(), ServeError> {
+    let (Some(dir), Some(id)) = (args.first(), args.get(1)) else {
+        return Err(usage("requeue needs a queue directory and a campaign id"));
+    };
+    let id: u64 = id
+        .parse()
+        .map_err(|_| usage(format!("bad campaign id `{id}`")))?;
+    let queue = Queue::open(dir)?;
+    requeue(&queue, id)?;
+    println!("campaign {id:05} requeued");
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), ServeError> {
+    let Some(dir) = args.first() else {
+        return Err(usage("fsck needs a queue directory"));
+    };
+    let prune = args.iter().any(|a| a == "--prune");
+    let queue = Queue::open(dir)?;
+    let report = fsck(&queue, prune)?;
+    println!(
+        "fsck {}: {} valid memo entries, {} corrupt, {} orphan files, {} orphan report dirs{}",
+        queue.root().display(),
+        report.valid_entries,
+        report.corrupt_entries.len(),
+        report.orphan_files.len(),
+        report.orphan_report_dirs.len(),
+        if prune {
+            format!(", {} pruned", report.pruned)
+        } else {
+            String::new()
+        }
+    );
+    for path in report
+        .corrupt_entries
+        .iter()
+        .chain(&report.orphan_files)
+        .chain(&report.orphan_report_dirs)
+    {
+        println!("  problem: {}", path.display());
+    }
+    if !report.is_clean() {
+        return Err(ServeError::Queue(format!(
+            "fsck found {} problem(s); run `loas-serve fsck {} --prune` to remove them",
+            report.problems(),
+            dir
+        )));
+    }
     Ok(())
 }
 

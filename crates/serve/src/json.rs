@@ -94,6 +94,15 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The object fields in source order, if this is an object (the v2
+    /// spec schema iterates config-override objects).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {

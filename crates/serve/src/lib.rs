@@ -21,6 +21,16 @@
 //!   `id % N == K`, writes `report.shard-K.jsonl`, and `loas-serve merge`
 //!   recombines shards by job id into a report byte-identical to a
 //!   single-process run.
+//! * **Versioned spec schema** ([`spec_io`]) — specs serialize under
+//!   `"version": 2`, where an accelerator is any model registered in the
+//!   [`loas_core::catalog`] (stable name + typed config overrides); the
+//!   pre-catalog v1 schema parses forever with byte-identical memo keys
+//!   (golden-asserted in `tests/golden_v1.rs`).
+//! * **Queue administration** ([`enqueue_batch`], [`requeue`], [`fsck`]) —
+//!   batched submission from a directory or manifest of specs,
+//!   failed-campaign requeue (memo-backed, so only unfinished work
+//!   re-simulates), and memo-store/report-tree integrity checking with
+//!   optional pruning.
 //!
 //! [`LayerReport`]: loas_core::LayerReport
 //!
@@ -52,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+mod admin;
 mod error;
 pub mod json;
 mod queue;
@@ -59,6 +70,7 @@ mod runner;
 mod shard;
 pub mod spec_io;
 
+pub use admin::{collect_spec_paths, enqueue_batch, fsck, requeue, FsckReport, ORPHAN_GRACE};
 pub use error::ServeError;
 pub use queue::{CampaignState, Queue, Submission};
 pub use runner::{drain, merge, watch, CampaignProgress, RunOptions, RunSummary};

@@ -3,24 +3,49 @@
 //! A spec is a complete, self-contained description of a campaign — name
 //! plus a flat job list, each job pairing a workload (shape, sparsity
 //! fractions, seed, fine-tuning flag) with an accelerator. Serialization
-//! is exact: seeds are integers, sparsity fractions are shortest-round-trip
-//! `f64` tokens, so `campaign_from_json(campaign_to_json(c))` rebuilds a
-//! campaign whose jobs carry identical [`memo keys`](loas_engine::JobSpec::memo_key)
-//! and produce byte-identical reports.
+//! is exact: seeds are integers, sparsity fractions and float config
+//! fields are shortest-round-trip `f64` tokens, so
+//! `campaign_from_json(campaign_to_json(c))` rebuilds a campaign whose
+//! jobs carry identical [`memo keys`](loas_engine::JobSpec::memo_key) and
+//! produce byte-identical reports.
+//!
+//! # Schema versions
+//!
+//! The document's top-level `"version"` field selects the schema:
+//!
+//! * **v1** (no `version` field — the pre-catalog format): accelerators
+//!   are closed-world tags (`"sparten"`, `"gospa"`, `"gamma"`, `"loas"`,
+//!   `"loas-ft"`, `"ptb"`, `"stellar"`) or a `{"loas": {..overrides..}}`
+//!   object. Still parsed forever: a committed golden v1 spec is asserted
+//!   in CI to produce byte-identical memo keys and reports.
+//! * **v2** (`"version": 2` — what [`campaign_to_json`] emits): an
+//!   accelerator is any **catalog** model by stable name, with an optional
+//!   typed config-override object —
+//!   `{"name": "gamma", "config": {"cache_bytes": 131072}}` — validated
+//!   field by field against the model's registered [`ModelConfig`]. A
+//!   bare string (`"gamma"`, plus the `"loas-ft"` convenience alias)
+//!   means the default configuration. Models registered by downstream
+//!   crates are expressible with no change to this crate.
+//!
+//! [`ModelConfig`]: loas_core::ModelConfig
 
 use crate::error::ServeError;
 use crate::json::{escape, Json};
-use loas_core::LoasConfig;
+use loas_core::{ConfigValue, LoasConfig};
 use loas_engine::{AcceleratorSpec, Campaign, JobSpec, WorkloadSpec};
 use loas_workloads::networks;
 use loas_workloads::{LayerShape, SparsityProfile};
 use std::fmt::Write as _;
 
-/// Serializes a campaign into the queue's JSON spec format (pretty,
-/// one job per line block).
+/// The schema version [`campaign_to_json`] writes.
+pub const SPEC_VERSION: u64 = 2;
+
+/// Serializes a campaign into the queue's versioned JSON spec format
+/// (pretty, one job per line block).
 pub fn campaign_to_json(campaign: &Campaign) -> String {
     let mut out = String::with_capacity(256 * campaign.len().max(1));
     let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"version\": {SPEC_VERSION},");
     let _ = writeln!(out, "  \"name\": \"{}\",", escape(&campaign.name));
     let _ = writeln!(out, "  \"jobs\": [");
     for (index, job) in campaign.jobs().iter().enumerate() {
@@ -73,40 +98,25 @@ fn job_to_json(job: &JobSpec) -> String {
     out
 }
 
+/// Serializes an accelerator as its v2 catalog form: stable model name +
+/// the full typed configuration (self-describing, so specs survive future
+/// default changes bit-exactly).
 fn accelerator_to_json(spec: &AcceleratorSpec) -> String {
-    match spec {
-        AcceleratorSpec::SparTen => "\"sparten\"".to_owned(),
-        AcceleratorSpec::Gospa => "\"gospa\"".to_owned(),
-        AcceleratorSpec::Gamma => "\"gamma\"".to_owned(),
-        AcceleratorSpec::Ptb => "\"ptb\"".to_owned(),
-        AcceleratorSpec::Stellar => "\"stellar\"".to_owned(),
-        AcceleratorSpec::Loas(config) => format!(
-            "{{\"loas\": {{\"tppes\": {}, \"timesteps\": {}, \"weight_bits\": {}, \
-             \"bitmask_bits\": {}, \"laggy_adders\": {}, \"fifo_depth\": {}, \
-             \"weight_buffer_bytes\": {}, \"cache_bytes\": {}, \"cache_banks\": {}, \
-             \"cache_ways\": {}, \"cache_line_bytes\": {}, \"hbm_gbps\": {}, \
-             \"hbm_channels\": {}, \"crossbar_bus_bytes\": {}, \
-             \"discard_low_activity_outputs\": {}, \"temporal_parallel\": {}, \
-             \"two_fast_prefix\": {}}}}}",
-            config.tppes,
-            config.timesteps,
-            config.weight_bits,
-            config.bitmask_bits,
-            config.laggy_adders,
-            config.fifo_depth,
-            config.weight_buffer_bytes,
-            config.cache_bytes,
-            config.cache_banks,
-            config.cache_ways,
-            config.cache_line_bytes,
-            config.hbm_gbps,
-            config.hbm_channels,
-            config.crossbar_bus_bytes,
-            config.discard_low_activity_outputs,
-            config.temporal_parallel,
-            config.two_fast_prefix
-        ),
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{{\"name\": \"{}\", \"config\": {{",
+        escape(spec.model())
+    );
+    for (index, (field, value)) in spec.config().fields().into_iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\"{field}\": {value}",
+            if index > 0 { ", " } else { "" }
+        );
     }
+    out.push_str("}}");
+    out
 }
 
 fn spec_err(message: impl Into<String>) -> ServeError {
@@ -133,14 +143,36 @@ fn required_f64(value: &Json, key: &str, context: &str) -> Result<f64, ServeErro
         .ok_or_else(|| spec_err(format!("`{key}` in {context} must be a number")))
 }
 
-/// Parses a campaign spec JSON document back into an engine [`Campaign`].
+/// The schema versions [`campaign_from_json`] accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecVersion {
+    /// The pre-catalog closed-enum format (no `version` field).
+    V1,
+    /// The catalog format (`"version": 2`).
+    V2,
+}
+
+/// Parses a campaign spec JSON document back into an engine [`Campaign`],
+/// accepting both schema versions (see the module docs).
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Spec`] describing the first syntax or schema
-/// problem.
+/// problem, including unsupported `version` values.
 pub fn campaign_from_json(text: &str) -> Result<Campaign, ServeError> {
     let doc = Json::parse(text).map_err(spec_err)?;
+    let version = match doc.get("version") {
+        None => SpecVersion::V1,
+        Some(value) => match value.as_u64() {
+            Some(2) => SpecVersion::V2,
+            Some(other) => {
+                return Err(spec_err(format!(
+                    "unsupported spec `version` {other} (this build reads v1 and v2)"
+                )))
+            }
+            None => return Err(spec_err("`version` must be an integer")),
+        },
+    };
     let name = required(&doc, "name", "campaign")?
         .as_str()
         .ok_or_else(|| spec_err("`name` must be a string"))?;
@@ -149,18 +181,22 @@ pub fn campaign_from_json(text: &str) -> Result<Campaign, ServeError> {
         .ok_or_else(|| spec_err("`jobs` must be an array"))?;
     let mut campaign = Campaign::new(name);
     for (index, job) in jobs.iter().enumerate() {
-        campaign.push(job_from_json(job, index)?);
+        campaign.push(job_from_json(job, index, version)?);
     }
     Ok(campaign)
 }
 
-fn job_from_json(job: &Json, index: usize) -> Result<JobSpec, ServeError> {
+fn job_from_json(job: &Json, index: usize, version: SpecVersion) -> Result<JobSpec, ServeError> {
     let context = format!("job {index}");
     let workload = workload_from_json(required(job, "workload", &context)?, &context)?;
-    let accelerator = accelerator_from_json(required(job, "accelerator", &context)?, &context)?;
+    let accelerator = required(job, "accelerator", &context)?;
+    let accelerator = match version {
+        SpecVersion::V1 => accelerator_from_json_v1(accelerator, &context)?,
+        SpecVersion::V2 => accelerator_from_json_v2(accelerator, &context)?,
+    };
     let label = match job.get("label").and_then(Json::as_str) {
         Some(label) => label.to_owned(),
-        None => format!("{} @ {}", workload.name, accelerator.name()),
+        None => format!("{} @ {}", workload.name, accelerator.display_name()),
     };
     let network = match job.get("network") {
         None | Some(Json::Null) => None,
@@ -234,16 +270,28 @@ fn workload_from_json(workload: &Json, context: &str) -> Result<WorkloadSpec, Se
     Ok(spec)
 }
 
-fn accelerator_from_json(spec: &Json, context: &str) -> Result<AcceleratorSpec, ServeError> {
+/// Resolves a bare accelerator name (catalog lookup plus the `"loas-ft"`
+/// convenience alias shared by both schema versions).
+fn named_accelerator(tag: &str, context: &str) -> Result<AcceleratorSpec, ServeError> {
+    if tag == "loas-ft" {
+        return Ok(AcceleratorSpec::loas_ft());
+    }
+    AcceleratorSpec::by_name(tag).map_err(|_| {
+        spec_err(format!(
+            "unknown accelerator `{tag}` in {context} (registered models: {}, or loas-ft)",
+            AcceleratorSpec::known_models().join("|")
+        ))
+    })
+}
+
+/// The v1 (pre-catalog) accelerator form: a closed tag set or a
+/// `{"loas": {..overrides..}}` object over the Table III defaults.
+fn accelerator_from_json_v1(spec: &Json, context: &str) -> Result<AcceleratorSpec, ServeError> {
     if let Some(tag) = spec.as_str() {
         return match tag {
-            "sparten" => Ok(AcceleratorSpec::SparTen),
-            "gospa" => Ok(AcceleratorSpec::Gospa),
-            "gamma" => Ok(AcceleratorSpec::Gamma),
-            "ptb" => Ok(AcceleratorSpec::Ptb),
-            "stellar" => Ok(AcceleratorSpec::Stellar),
-            "loas" => Ok(AcceleratorSpec::loas()),
-            "loas-ft" => Ok(AcceleratorSpec::loas_ft()),
+            "sparten" | "gospa" | "gamma" | "ptb" | "stellar" | "loas" | "loas-ft" => {
+                named_accelerator(tag, context)
+            }
             other => Err(spec_err(format!(
                 "unknown accelerator `{other}` in {context} (want sparten|gospa|gamma|loas|loas-ft|ptb|stellar or {{\"loas\": {{...}}}})"
             ))),
@@ -295,7 +343,79 @@ fn accelerator_from_json(spec: &Json, context: &str) -> Result<AcceleratorSpec, 
     )?;
     set_bool(&mut config.temporal_parallel, "temporal_parallel")?;
     set_bool(&mut config.two_fast_prefix, "two_fast_prefix")?;
-    Ok(AcceleratorSpec::Loas(config))
+    config
+        .check()
+        .map_err(|message| spec_err(format!("invalid loas config in {context}: {message}")))?;
+    Ok(AcceleratorSpec::loas_with(config))
+}
+
+/// The v2 accelerator form: a bare catalog name, or
+/// `{"name": <model>, "config": {..field overrides..}}` validated against
+/// the model's registered typed configuration.
+fn accelerator_from_json_v2(spec: &Json, context: &str) -> Result<AcceleratorSpec, ServeError> {
+    if let Some(tag) = spec.as_str() {
+        return named_accelerator(tag, context);
+    }
+    if spec.as_obj().is_none() {
+        return Err(spec_err(format!(
+            "accelerator in {context} must be a model-name string or a {{\"name\": ..., \"config\": {{...}}}} object"
+        )));
+    }
+    let name = required(spec, "name", context)?
+        .as_str()
+        .ok_or_else(|| spec_err(format!("accelerator `name` in {context} must be a string")))?;
+    let mut accelerator = named_accelerator(name, context)?;
+    let Some(config) = spec.get("config") else {
+        return Ok(accelerator);
+    };
+    let overrides = config.as_obj().ok_or_else(|| {
+        spec_err(format!(
+            "accelerator `config` in {context} must be an object"
+        ))
+    })?;
+    // Coerce each override by the declared kind of the registered config
+    // field, so integer tokens land in integer fields and float fields
+    // accept both `128` and `128.0` spellings.
+    let declared = accelerator.config().fields();
+    for (field, value) in overrides {
+        let Some((_, kind)) = declared.iter().find(|(name, _)| name == field) else {
+            return Err(spec_err(format!(
+                "model `{name}` has no config field `{field}` (in {context}; fields: {})",
+                declared
+                    .iter()
+                    .map(|(name, _)| *name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        };
+        let coerced = match kind {
+            ConfigValue::UInt(_) => value.as_u64().map(ConfigValue::UInt),
+            ConfigValue::Float(_) => value.as_f64().map(ConfigValue::Float),
+            ConfigValue::Bool(_) => value.as_bool().map(ConfigValue::Bool),
+        }
+        .ok_or_else(|| {
+            spec_err(format!(
+                "config field `{name}.{field}` in {context} must be {}",
+                match kind {
+                    ConfigValue::UInt(_) => "a non-negative integer",
+                    ConfigValue::Float(_) => "a number",
+                    ConfigValue::Bool(_) => "a boolean",
+                }
+            ))
+        })?;
+        accelerator
+            .config_mut()
+            .set(field, coerced)
+            .map_err(|error| spec_err(format!("{error} (in {context})")))?;
+    }
+    // Individually-plausible fields can combine into a configuration the
+    // simulator would hang or panic on (a radix-1 merger, a zero-way
+    // cache): reject those at the schema boundary, before enqueueing.
+    accelerator
+        .config()
+        .validate()
+        .map_err(|message| spec_err(format!("invalid `{name}` config in {context}: {message}")))?;
+    Ok(accelerator)
 }
 
 /// Builds the paper's headline campaign (the full 7-accelerator fleet over
@@ -322,15 +442,56 @@ pub fn headline_campaign(quick: bool, seed: u64) -> Campaign {
     campaign
 }
 
+/// The FiberCache capacities the built-in Gamma sweep visits (the single
+/// source of truth lives on [`GammaConfig`], shared with the bench
+/// harness's sweep table).
+pub const GAMMA_CACHE_POINTS: [usize; 4] = loas_baselines::GammaConfig::CACHE_SWEEP_POINTS;
+
+/// Builds a baseline-config sweep campaign: Gamma-SNN's FiberCache
+/// capacity over the V-L8 layer ([`GAMMA_CACHE_POINTS`]), the served
+/// counterpart of the bench harness's Gamma cache sweep — and a worked
+/// example of sweeping a non-LoAS catalog config through the queue.
+pub fn gamma_cache_campaign(quick: bool, seed: u64) -> Campaign {
+    let mut campaign = Campaign::new(if quick {
+        "gamma-cache-sweep (quick)"
+    } else {
+        "gamma-cache-sweep"
+    });
+    let layer = &networks::selected_layers()[1];
+    let layer = if quick {
+        layer.shrunk_for_quick()
+    } else {
+        layer.clone()
+    };
+    let workload = WorkloadSpec::from_layer(&layer).with_seed(seed);
+    for bytes in GAMMA_CACHE_POINTS {
+        let config = loas_baselines::GammaConfig::builder()
+            .cache_bytes(bytes)
+            .build();
+        let accelerator = AcceleratorSpec::from_config(config);
+        let label = format!("{} @ Gamma-SNN[{}KB]", workload.name, bytes / 1024);
+        campaign.push(JobSpec {
+            label,
+            network: None,
+            layer_index: 0,
+            workload: workload.clone(),
+            accelerator,
+        });
+    }
+    campaign
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loas_baselines::GammaConfig;
     use loas_engine::DEFAULT_SEED;
 
     #[test]
     fn headline_round_trips_with_identical_memo_keys() {
         let original = headline_campaign(true, DEFAULT_SEED);
         let text = campaign_to_json(&original);
+        assert!(text.contains("\"version\": 2"));
         let parsed = campaign_from_json(&text).unwrap();
         assert_eq!(parsed.name, original.name);
         assert_eq!(parsed.len(), original.len());
@@ -347,7 +508,7 @@ mod tests {
     }
 
     #[test]
-    fn loas_config_overrides_apply_over_table3() {
+    fn v1_loas_config_overrides_apply_over_table3() {
         let text = r#"{"name": "t", "jobs": [{
             "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
                          "profile": {"spike_origin": 0.823, "silent": 0.741,
@@ -355,9 +516,10 @@ mod tests {
                          "seed": 7},
             "accelerator": {"loas": {"timesteps": 8, "discard_low_activity_outputs": true}}}]}"#;
         let campaign = campaign_from_json(text).unwrap();
-        let AcceleratorSpec::Loas(config) = &campaign.jobs()[0].accelerator else {
-            panic!("expected a LoAS accelerator");
-        };
+        let config: &LoasConfig = campaign.jobs()[0]
+            .accelerator
+            .typed_config()
+            .expect("a LoAS accelerator");
         assert_eq!(config.timesteps, 8);
         assert!(config.discard_low_activity_outputs);
         assert_eq!(config.tppes, LoasConfig::table3().tppes);
@@ -365,37 +527,136 @@ mod tests {
         // defaulted fields.
         assert_eq!(
             campaign.jobs()[0].label,
-            format!("w @ {}", campaign.jobs()[0].accelerator.name())
+            format!("w @ {}", campaign.jobs()[0].accelerator.display_name())
         );
         assert!(!campaign.jobs()[0].workload.fine_tuned);
     }
 
     #[test]
+    fn v2_catalog_configs_parse_for_every_model() {
+        let job = |accelerator: &str| {
+            format!(
+                r#"{{"version": 2, "name": "t", "jobs": [{{
+                    "workload": {{"name": "w", "shape": {{"t": 4, "m": 4, "n": 8, "k": 64}},
+                                 "profile": {{"spike_origin": 0.823, "silent": 0.741,
+                                             "silent_ft": 0.796, "weight": 0.982}},
+                                 "seed": 7}},
+                    "accelerator": {accelerator}}}]}}"#
+            )
+        };
+        // Bare names resolve to catalog defaults.
+        for name in AcceleratorSpec::known_models() {
+            let campaign = campaign_from_json(&job(&format!("\"{name}\""))).unwrap();
+            assert_eq!(campaign.jobs()[0].accelerator.model(), name);
+            assert_eq!(
+                campaign.jobs()[0].accelerator,
+                AcceleratorSpec::by_name(name).unwrap()
+            );
+        }
+        // Typed overrides apply through the registered config.
+        let campaign = campaign_from_json(&job(
+            r#"{"name": "gamma", "config": {"cache_bytes": 131072, "merge_radix": 32}}"#,
+        ))
+        .unwrap();
+        let config: &GammaConfig = campaign.jobs()[0].accelerator.typed_config().unwrap();
+        assert_eq!(config.cache_bytes, 128 * 1024);
+        assert_eq!(config.merge_radix, 32);
+        assert_eq!(config.pes, GammaConfig::default().pes);
+        // The override changes the memo key; defaults do not.
+        let default_key = campaign_from_json(&job("\"gamma\"")).unwrap().jobs()[0].memo_key();
+        assert_ne!(campaign.jobs()[0].memo_key(), default_key);
+    }
+
+    #[test]
     fn schema_problems_are_described() {
+        let wrap = |accelerator: &str, version: &str| {
+            format!(
+                r#"{{{version}"name": "x", "jobs": [{{
+                    "workload": {{"name": "w", "shape": {{"t": 4, "m": 4, "n": 8, "k": 64}},
+                                 "profile": {{"spike_origin": 0.8, "silent": 0.7,
+                                             "silent_ft": 0.8, "weight": 0.9}},
+                                 "seed": 7}},
+                    "accelerator": {accelerator}}}]}}"#
+            )
+        };
         for (bad, needle) in [
-            ("{\"jobs\": []}", "missing `name`"),
-            ("{\"name\": \"x\", \"jobs\": [{}]}", "missing `workload`"),
+            ("{\"jobs\": []}".to_owned(), "missing `name`"),
             (
-                r#"{"name": "x", "jobs": [{
-                    "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
-                                 "profile": {"spike_origin": 82.3, "silent": 0.7,
-                                             "silent_ft": 0.8, "weight": 0.9},
-                                 "seed": 7},
-                    "accelerator": "loas"}]}"#,
-                "fraction in [0, 1]",
+                "{\"name\": \"x\", \"jobs\": [{}]}".to_owned(),
+                "missing `workload`",
             ),
             (
-                r#"{"name": "x", "jobs": [{
-                    "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
-                                 "profile": {"spike_origin": 0.8, "silent": 0.7,
-                                             "silent_ft": 0.8, "weight": 0.9},
-                                 "seed": 7},
-                    "accelerator": "warp-drive"}]}"#,
-                "unknown accelerator",
+                "{\"version\": 3, \"name\": \"x\", \"jobs\": []}".to_owned(),
+                "unsupported spec `version` 3",
+            ),
+            (wrap("\"warp-drive\"", ""), "unknown accelerator"),
+            (
+                wrap("\"warp-drive\"", "\"version\": 2, "),
+                "registered models",
+            ),
+            (
+                wrap(
+                    r#"{"name": "gamma", "config": {"warp_factor": 9}}"#,
+                    "\"version\": 2, ",
+                ),
+                "no config field `warp_factor`",
+            ),
+            (
+                wrap(
+                    r#"{"name": "gamma", "config": {"cache_bytes": true}}"#,
+                    "\"version\": 2, ",
+                ),
+                "must be a non-negative integer",
+            ),
+            (
+                wrap(r#"{"name": "sparten", "config": []}"#, "\"version\": 2, "),
+                "must be an object",
+            ),
+            (
+                // Kind-valid but degenerate: a radix-1 merger would hang
+                // the simulator, so the schema boundary rejects it.
+                wrap(
+                    r#"{"name": "gamma", "config": {"merge_radix": 1}}"#,
+                    "\"version\": 2, ",
+                ),
+                "invalid `gamma` config",
+            ),
+            (
+                wrap(r#"{"loas": {"timesteps": 99}}"#, ""),
+                "invalid loas config",
             ),
         ] {
-            let error = campaign_from_json(bad).unwrap_err().to_string();
+            let error = campaign_from_json(&bad).unwrap_err().to_string();
             assert!(error.contains(needle), "`{error}` lacks `{needle}`");
         }
+        // A fraction out of range fails in both versions.
+        let bad_profile = r#"{"name": "x", "jobs": [{
+            "workload": {"name": "w", "shape": {"t": 4, "m": 4, "n": 8, "k": 64},
+                         "profile": {"spike_origin": 82.3, "silent": 0.7,
+                                     "silent_ft": 0.8, "weight": 0.9},
+                         "seed": 7},
+            "accelerator": "loas"}]}"#;
+        let error = campaign_from_json(bad_profile).unwrap_err().to_string();
+        assert!(error.contains("fraction in [0, 1]"), "{error}");
+    }
+
+    #[test]
+    fn gamma_cache_campaign_sweeps_the_fibercache() {
+        let campaign = gamma_cache_campaign(true, DEFAULT_SEED);
+        assert_eq!(campaign.len(), GAMMA_CACHE_POINTS.len());
+        for (job, bytes) in campaign.jobs().iter().zip(GAMMA_CACHE_POINTS) {
+            assert_eq!(job.accelerator.model(), "gamma");
+            let config: &GammaConfig = job.accelerator.typed_config().unwrap();
+            assert_eq!(config.cache_bytes, bytes);
+        }
+        // The sweep survives a serialization round trip with stable keys.
+        let parsed = campaign_from_json(&campaign_to_json(&campaign)).unwrap();
+        for (a, b) in campaign.jobs().iter().zip(parsed.jobs()) {
+            assert_eq!(a.memo_key(), b.memo_key());
+        }
+        // Distinct cache sizes are distinct memoization keys.
+        let keys: std::collections::HashSet<_> =
+            parsed.jobs().iter().map(|job| job.memo_key()).collect();
+        assert_eq!(keys.len(), campaign.len());
     }
 }

@@ -53,8 +53,14 @@ pub use loas_snn as snn;
 pub use loas_sparse as sparse;
 pub use loas_workloads as workloads;
 
-pub use loas_baselines::{GammaSnn, GospaSnn, Ptb, SparTenSnn, Stellar};
-pub use loas_core::{Accelerator, LayerReport, Loas, LoasConfig, NetworkReport, PreparedLayer};
+pub use loas_baselines::{
+    GammaConfig, GammaSnn, GospaConfig, GospaSnn, Ptb, PtbConfig, SparTenConfig, SparTenSnn,
+    Stellar, StellarConfig,
+};
+pub use loas_core::{
+    Accelerator, ConfigValue, LayerReport, Loas, LoasConfig, ModelConfig, ModelEntry,
+    NetworkReport, PreparedLayer,
+};
 pub use loas_engine::{AcceleratorSpec, Campaign, CampaignOutcome, Engine, WorkloadSpec};
 pub use loas_snn::{LifParams, SnnLayer, SnnNetwork, SpikeTensor};
 pub use loas_workloads::{LayerShape, LayerWorkload, SparsityProfile, WorkloadGenerator};
