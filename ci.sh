@@ -7,10 +7,15 @@
 # byte-identical to a single-process run -> warm-store replay with zero
 # simulations), a v1-vs-v2 spec A/B against the committed pre-redesign
 # report, a served baseline-config sweep (Gamma FiberCache), smokes for
-# the queue admin commands (batch enqueue, requeue, fsck), a perf smoke
-# emitting BENCH_PR3.json on the quick fig13 grid, and a
-# kernel-vs-pre-kernel campaign A/B asserting the two-phase sweep is
-# byte-identical to the scalar golden path.
+# the queue admin commands (batch enqueue, requeue, fsck, models), a perf
+# smoke emitting a quick-grid BENCH_PR5.json, a bench-trajectory gate
+# comparing the committed BENCH_PR5.json against BENCH_PR3.json (fails on
+# a >20% regression in kernel pairs/s or end-to-end wall time, and
+# requires the PR 5 record's >=1.3x end-to-end gain), and a
+# kernel-vs-pre-kernel campaign A/B asserting the two-phase sweep plus
+# the span-based traffic replay are byte-identical to the scalar golden
+# path (LOAS_SWEEP=scalar drives every model's Reference oracle,
+# including Gamma's and GoSPA's pre-span walks).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -105,19 +110,49 @@ fi
 "$SERVE" fsck "$SMOKE/single" --prune | grep -q "1 pruned"
 "$SERVE" fsck "$SMOKE/single"
 
+echo "== accelerator catalog listing (loas-serve models)"
+"$SERVE" models > "$SMOKE/models.out"
+for model in loas sparten gospa gamma ptb stellar; do
+  grep -q "^$model\$" "$SMOKE/models.out"
+done
+grep -q "cache_ways" "$SMOKE/models.out"
+grep -q "default 262144" "$SMOKE/models.out"
+
 echo "== two-phase kernel vs pre-kernel golden (LOAS_SWEEP=scalar A/B)"
-# A fresh queue simulated entirely on the pre-kernel scalar sweep (its own
+# A fresh queue simulated entirely on the pre-kernel scalar path (its own
 # memo store, so nothing replays) must reproduce the kernel-path report —
-# including the warm-memo replay above — byte for byte.
+# including the warm-memo replay above — byte for byte. Since PR 5 the
+# default path also routes all cache traffic through the precomputed
+# spans + residency fast paths, so this A/B covers the span-based traffic
+# replay of every model (LoAS, SparTen, Gamma, GoSPA) against its
+# address-arithmetic oracle.
 "$SERVE" init "$SMOKE/scalar"
 "$SERVE" enqueue "$SMOKE/scalar" "$SMOKE/headline.json"
 LOAS_SWEEP=scalar "$SERVE" run "$SMOKE/scalar"
 cmp "$SMOKE/scalar/reports/00001/report.jsonl" "$SMOKE/single/reports/00001/report.jsonl"
 
 echo "== perf smoke: bench experiment on the quick fig13 grid"
-LOAS_BENCH_OUT="$SMOKE/BENCH_PR3.json" target/release/repro --quick --workers 1 bench
-grep -q '"format": "loas-bench/1"' "$SMOKE/BENCH_PR3.json"
-grep -q '"speedup"' "$SMOKE/BENCH_PR3.json"
-echo "-- $(grep -o '"speedup": [0-9.]*' "$SMOKE/BENCH_PR3.json" | tail -1) (quick grid; the tracked full-grid record is BENCH_PR3.json at the repo root)"
+LOAS_BENCH_OUT="$SMOKE/BENCH_PR5.json" target/release/repro --quick --workers 1 bench
+grep -q '"format": "loas-bench/1"' "$SMOKE/BENCH_PR5.json"
+grep -q '"speedup"' "$SMOKE/BENCH_PR5.json"
+echo "-- $(grep -o '"speedup": [0-9.]*' "$SMOKE/BENCH_PR5.json" | tail -1) (quick grid; the tracked full-grid record is BENCH_PR5.json at the repo root)"
+
+echo "== bench trajectory gate (committed BENCH_PR5.json vs BENCH_PR3.json)"
+# Both records are full-fidelity, 1-thread, cold-store measurements from
+# the same environment; the trajectory invariant is that each perf PR's
+# record neither regresses its predecessor by >20% (pairs/s down or wall
+# time up) nor falls short of the >=1.3x end-to-end gain PR 5 landed.
+bench_field() { grep -o "^  \"$2\": [0-9.]*" "$1" | awk '{print $2}'; }
+pr3_pairs=$(bench_field BENCH_PR3.json kernel_pairs_per_sec)
+pr5_pairs=$(bench_field BENCH_PR5.json kernel_pairs_per_sec)
+pr3_wall=$(bench_field BENCH_PR3.json kernel_seconds)
+pr5_wall=$(bench_field BENCH_PR5.json kernel_seconds)
+echo "-- kernel sweep: $pr3_pairs -> $pr5_pairs pairs/s; end-to-end: ${pr3_wall}s -> ${pr5_wall}s"
+awk -v old="$pr3_pairs" -v new="$pr5_pairs" 'BEGIN { exit !(new >= 0.8 * old) }' \
+  || { echo "kernel pairs/s regressed >20% against BENCH_PR3.json"; exit 1; }
+awk -v old="$pr3_wall" -v new="$pr5_wall" 'BEGIN { exit !(new <= 1.2 * old) }' \
+  || { echo "end-to-end wall time regressed >20% against BENCH_PR3.json"; exit 1; }
+awk -v old="$pr3_wall" -v new="$pr5_wall" 'BEGIN { exit !(old >= 1.3 * new) }' \
+  || { echo "BENCH_PR5.json no longer shows the >=1.3x end-to-end gain"; exit 1; }
 
 echo "CI OK"

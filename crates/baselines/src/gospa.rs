@@ -14,8 +14,8 @@
 //!   footprint of all designs (Fig. 14).
 
 use crate::common::{config_builder, Machine};
-use loas_core::{Accelerator, LayerReport, PreparedLayer};
-use loas_sim::TrafficClass;
+use loas_core::{Accelerator, LayerReport, PreparedLayer, SweepStrategy};
+use loas_sim::{LineSpan, SpanResidency, TrafficClass};
 
 /// Typed configuration of the GoSPA-SNN model. Registered in the
 /// accelerator catalog as `"gospa"`.
@@ -83,15 +83,33 @@ loas_core::impl_model_config!(GospaConfig, "gospa", {
 });
 
 /// The GoSPA-SNN baseline model.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GospaSnn {
     params: GospaConfig,
+    sweep: SweepStrategy,
+}
+
+impl Default for GospaSnn {
+    /// Paper parameters, sweep strategy from the `LOAS_SWEEP` environment.
+    fn default() -> Self {
+        GospaSnn::new(GospaConfig::default())
+    }
 }
 
 impl GospaSnn {
     /// Creates the model with the given configuration.
     pub fn new(params: GospaConfig) -> Self {
-        GospaSnn { params }
+        GospaSnn {
+            params,
+            sweep: SweepStrategy::from_env(),
+        }
+    }
+
+    /// Selects the traffic-path strategy explicitly (overriding the
+    /// `LOAS_SWEEP` environment default).
+    pub fn with_sweep(mut self, sweep: SweepStrategy) -> Self {
+        self.sweep = sweep;
+        self
     }
 
     /// Off-chip psum traffic (bytes) for a given live-psum footprint: what
@@ -147,6 +165,23 @@ impl Accelerator for GospaSnn {
             *slot = addr;
             addr += ((layer.b_row_nnz[k] * (p.weight_bits + coord_bits)).div_ceil(8)) as u64;
         }
+        // The span path of the k-major walk: per-row spans precomputed
+        // once, residency tokens so the timestep-over-timestep re-walk of
+        // a still-hot row is all-hits with no tag compares. The reference
+        // strategy keeps the per-access arithmetic below as the oracle;
+        // reports are byte-identical either way (asserted in tests).
+        let mut spanned_rows = (self.sweep == SweepStrategy::Kernel).then(|| {
+            let line_bytes = machine.cache.line_bytes();
+            let spans: Vec<LineSpan> = b_row_addr
+                .iter()
+                .zip(&layer.b_row_nnz)
+                .map(|(&row_addr, &nnz)| {
+                    let bytes = ((nnz * (p.weight_bits + coord_bits)).div_ceil(8)) as u64;
+                    LineSpan::of_range(row_addr, bytes, line_bytes)
+                })
+                .collect();
+            (spans, vec![SpanResidency::default(); shape.k])
+        });
         for (t, plane) in layer.workload.spikes.planes().iter().enumerate() {
             // Per-timestep activation stream: per-column counts of A.
             let mut spikes_t = 0u64;
@@ -170,12 +205,27 @@ impl Accelerator for GospaSnn {
             );
             // B rows walk through the cache in k-major order once per
             // timestep: hot after the first pass.
-            for (&row_addr, &nnz) in b_row_addr.iter().zip(&layer.b_row_nnz) {
-                if nnz > 0 {
-                    let bytes = ((nnz * (p.weight_bits + coord_bits)).div_ceil(8)) as u64;
-                    machine
-                        .cache
-                        .access_range(row_addr, bytes, TrafficClass::Weight);
+            match spanned_rows.as_mut() {
+                Some((spans, residency)) => {
+                    for (k, &nnz) in layer.b_row_nnz.iter().enumerate() {
+                        if nnz > 0 {
+                            machine.cache.access_span_resident(
+                                spans[k],
+                                &mut residency[k],
+                                TrafficClass::Weight,
+                            );
+                        }
+                    }
+                }
+                None => {
+                    for (&row_addr, &nnz) in b_row_addr.iter().zip(&layer.b_row_nnz) {
+                        if nnz > 0 {
+                            let bytes = ((nnz * (p.weight_bits + coord_bits)).div_ceil(8)) as u64;
+                            machine
+                                .cache
+                                .access_range(row_addr, bytes, TrafficClass::Weight);
+                        }
+                    }
                 }
             }
             // Completed psums cross SRAM once on the way out (+ LIF read).
@@ -266,6 +316,20 @@ mod tests {
             report.stats.dram.get(TrafficClass::Format)
                 > report.stats.dram.get(TrafficClass::Input)
         );
+    }
+
+    #[test]
+    fn span_and_reference_walks_are_byte_identical() {
+        let l = layer(4, 64);
+        let golden = GospaSnn::default()
+            .with_sweep(SweepStrategy::Reference)
+            .run_layer(&l)
+            .to_portable();
+        let span = GospaSnn::default()
+            .with_sweep(SweepStrategy::Kernel)
+            .run_layer(&l)
+            .to_portable();
+        assert_eq!(span, golden);
     }
 
     #[test]

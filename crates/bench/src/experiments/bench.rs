@@ -1,9 +1,12 @@
-//! `bench` — the tracked simulator-performance baseline (`BENCH_PR3.json`).
+//! `bench` — the tracked simulator-performance record (`BENCH_PR*.json`).
 //!
 //! Not a paper figure: this experiment measures the *simulator itself* on
 //! the Fig. 13 grid (AlexNet + VGG16 + ResNet19 across the five spMspM
 //! designs) and persists the numbers that future perf PRs are judged
-//! against:
+//! against. One record is committed per perf PR (`BENCH_PR3.json`,
+//! `BENCH_PR5.json`, ...), forming the bench trajectory ci.sh enforces —
+//! the current PR's record must not regress kernel pairs/s or end-to-end
+//! wall time by more than 20% against its predecessor:
 //!
 //! * **A/B wall clock** — every design simulated single-threaded with the
 //!   pre-kernel scalar sweep ([`SweepStrategy::Reference`]) and with the
@@ -15,7 +18,7 @@
 //!   campaign (fresh engine, one worker): generation + preparation +
 //!   simulation end to end.
 //!
-//! The JSON lands at `BENCH_PR3.json` (override with `LOAS_BENCH_OUT`).
+//! The JSON lands at `BENCH_PR5.json` (override with `LOAS_BENCH_OUT`).
 //! `repro all` skips this experiment — run it explicitly with
 //! `repro bench` (CI runs `repro --quick bench` as a perf smoke).
 //!
@@ -31,9 +34,12 @@ use loas_workloads::networks::{self, NetworkSpec};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The perf PR this benchmark record belongs to (the trajectory key).
+const BENCH_PR: u32 = 5;
+
 /// Where the benchmark record is written.
 fn output_path() -> String {
-    std::env::var("LOAS_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_owned())
+    std::env::var("LOAS_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{BENCH_PR}.json"))
 }
 
 fn grid() -> [NetworkSpec; 3] {
@@ -72,12 +78,14 @@ fn timed_pass(design: Design, layers: &[Arc<PreparedLayer>], sweep: SweepStrateg
     start.elapsed().as_secs_f64()
 }
 
-/// Builds the design's model pinned to the given sweep strategy (designs
-/// without a pure-phase toggle — GoSPA, Gamma — run the same code either
-/// way and are timed on both sides for an honest end-to-end total).
+/// Builds the design's model pinned to the given sweep strategy (since
+/// PR 5 every spMspM design has a Reference/Kernel toggle — Gamma and
+/// GoSPA gained one with the span-based traffic path).
 fn model_for(design: Design, sweep: SweepStrategy) -> Box<dyn Accelerator + Send> {
     match design {
         Design::SparTen => Box::new(loas_baselines::SparTenSnn::default().with_sweep(sweep)),
+        Design::Gamma => Box::new(loas_baselines::GammaSnn::default().with_sweep(sweep)),
+        Design::Gospa => Box::new(loas_baselines::GospaSnn::default().with_sweep(sweep)),
         Design::Loas | Design::LoasFt => {
             let spec = design.accelerator_spec();
             let config: &loas_core::LoasConfig =
@@ -176,7 +184,7 @@ fn run_to(ctx: &mut Context, path: &str) -> Vec<Table> {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"format\": \"loas-bench/1\",\n");
-    json.push_str("  \"pr\": 3,\n");
+    json.push_str(&format!("  \"pr\": {BENCH_PR},\n"));
     json.push_str(&format!("  \"quick\": {},\n", ctx.is_quick()));
     json.push_str(
         "  \"grid\": \"fig13 (AlexNet+VGG16+ResNet19 x SparTen-SNN/GoSPA-SNN/Gamma-SNN/LoAS/LoAS-FT)\",\n",
@@ -243,15 +251,16 @@ mod tests {
 
     #[test]
     fn bench_writes_record_and_reports_consistent_speedups() {
-        let dir = std::env::temp_dir().join(format!("loas-bench-pr3-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("loas-bench-pr5-{}", std::process::id()));
         let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("BENCH_PR3.json");
+        let path = dir.join("BENCH_PR5.json");
         let mut ctx = Context::quick();
         let tables = run_to(&mut ctx, path.to_str().expect("utf-8 temp path"));
         assert_eq!(tables.len(), 1);
         assert!(tables[0].is_consistent());
         let written = std::fs::read_to_string(&path).expect("record written");
         assert!(written.contains("\"format\": \"loas-bench/1\""));
+        assert!(written.contains(&format!("\"pr\": {BENCH_PR}")));
         assert!(written.contains("\"speedup\""));
         assert!(written.contains("\"campaign_wall_seconds\""));
         let _ = std::fs::remove_dir_all(&dir);

@@ -18,9 +18,15 @@
 //! fiber-B words hoisted), optionally fanned out across row tiles on
 //! scoped worker threads. The **sequential traffic phase** then replays
 //! the per-pair counts through the HBM/SRAM/crossbar models in the exact
-//! pre-kernel order, so reports are byte-identical by construction for any
-//! [`SweepStrategy`] and worker count (asserted via the portable
-//! serialization in this crate's tests).
+//! pre-kernel order. On the kernel strategy the replay consumes the
+//! layer's precomputed [`TrafficSpans`] — fixed cache-line spans per
+//! row/column object, no per-pair address arithmetic — and carries
+//! [`SpanResidency`](loas_sim::SpanResidency) tokens on the per-column
+//! fiber-B broadcasts so re-touching a still-resident fiber takes the
+//! cache's all-hits fast path; the reference strategy keeps the original
+//! per-access arithmetic as the oracle. Reports are byte-identical by
+//! construction for any [`SweepStrategy`] and worker count (asserted via
+//! the portable serialization in this crate's tests).
 //!
 //! # Traffic accounting (what the paper's Figs. 13-14 count)
 //!
@@ -45,13 +51,15 @@ use crate::config::LoasConfig;
 use crate::inner_join::JoinScratch;
 use crate::kernel::{fired_grand_total, PairSweepKernel, SweepMode, TileSweep};
 use crate::metrics::{Accelerator, LayerReport};
-use crate::prepared::PreparedLayer;
+use crate::prepared::{PreparedLayer, TrafficSpans};
 use crate::tppe::Tppe;
 use loas_sim::{
-    ClockDomain, Crossbar, Cycle, EnergyModel, HbmModel, SimStats, SramCache, TrafficClass,
+    ClockDomain, Crossbar, Cycle, EnergyModel, HbmModel, SimStats, SpanResidency, SramCache,
+    TrafficClass,
 };
 use loas_snn::SpikeTensor;
 use loas_sparse::{Bitmask, PackedSpikes, POINTER_BITS};
+use std::borrow::Cow;
 
 /// How a model computes its pure pair-intersection phase.
 ///
@@ -278,6 +286,143 @@ struct PairMetrics {
     stall_cycles: u64,
 }
 
+/// The tag-accurate probe endpoints of the sequential traffic replay.
+///
+/// [`SweepStrategy::Kernel`] drives the cache through the layer's
+/// precomputed [`TrafficSpans`] — no per-access address arithmetic, and
+/// [`SpanResidency`] tokens on the per-column fiber-B objects so the
+/// re-broadcast of a still-resident fiber to the next row tile takes the
+/// all-hits fast path. [`SweepStrategy::Reference`] keeps the original
+/// address map and per-access `access_range`/`probe_range` arithmetic as
+/// the oracle. Both variants touch the same lines in the same order, so
+/// reports are byte-identical (asserted in tests and ci.sh).
+enum TrafficProbes<'a> {
+    Spans {
+        spans: Cow<'a, TrafficSpans>,
+        a_payload_residency: Vec<SpanResidency>,
+        b_bm_residency: Vec<SpanResidency>,
+        b_payload_residency: Vec<SpanResidency>,
+    },
+    Address {
+        a_addr: Vec<u64>,
+        b_addr: Vec<u64>,
+        bm_bytes: u64,
+    },
+}
+
+impl<'a> TrafficProbes<'a> {
+    fn spans(layer: &'a PreparedLayer, weight_bits: usize, line_bytes: usize) -> Self {
+        let spans = layer.traffic_spans(weight_bits, line_bytes);
+        TrafficProbes::Spans {
+            a_payload_residency: vec![SpanResidency::default(); layer.shape.m],
+            b_bm_residency: vec![SpanResidency::default(); layer.shape.n],
+            b_payload_residency: vec![SpanResidency::default(); layer.shape.n],
+            spans,
+        }
+    }
+
+    fn address(layer: &PreparedLayer, weight_bits: usize) -> Self {
+        // Address map for the tag-accurate cache: A fibers then B.
+        let shape = layer.shape;
+        let mut a_addr = Vec::with_capacity(shape.m);
+        let mut addr = 0u64;
+        for fiber in &layer.a_fibers {
+            a_addr.push(addr);
+            addr += fiber.storage_bits(shape.t).div_ceil(8) as u64;
+        }
+        let mut b_addr = Vec::with_capacity(shape.n);
+        for fiber in &layer.b_fibers {
+            b_addr.push(addr);
+            addr += fiber.storage_bits(weight_bits).div_ceil(8) as u64;
+        }
+        TrafficProbes::Address {
+            a_addr,
+            b_addr,
+            bm_bytes: (shape.k + POINTER_BITS).div_ceil(8) as u64,
+        }
+    }
+
+    /// Loads `bm-A` (+ pointer) of row `m`; returns missed lines.
+    fn load_a_bitmask(&mut self, cache: &mut SramCache, m: usize) -> u64 {
+        match self {
+            TrafficProbes::Spans { spans, .. } => {
+                cache.access_span(spans.a_bm_span[m], TrafficClass::Format)
+            }
+            TrafficProbes::Address {
+                a_addr, bm_bytes, ..
+            } => cache.access_range(a_addr[m], *bm_bytes, TrafficClass::Format),
+        }
+    }
+
+    /// Broadcasts `bm-B` + the weight payload of column `n`; returns the
+    /// bitmask's missed lines (the Format refetch the HBM model charges).
+    fn load_b_fiber(&mut self, cache: &mut SramCache, n: usize, payload_bytes: u64) -> u64 {
+        match self {
+            TrafficProbes::Spans {
+                spans,
+                b_bm_residency,
+                b_payload_residency,
+                ..
+            } => {
+                let missed_bm = cache.access_span_resident(
+                    spans.b_bm_span[n],
+                    &mut b_bm_residency[n],
+                    TrafficClass::Format,
+                );
+                cache.access_span_resident(
+                    spans.b_payload_span[n],
+                    &mut b_payload_residency[n],
+                    TrafficClass::Weight,
+                );
+                missed_bm
+            }
+            TrafficProbes::Address {
+                b_addr, bm_bytes, ..
+            } => {
+                let missed_bm = cache.access_range(b_addr[n], *bm_bytes, TrafficClass::Format);
+                cache.access_range(b_addr[n] + *bm_bytes, payload_bytes, TrafficClass::Weight);
+                missed_bm
+            }
+        }
+    }
+
+    /// Compressed output bytes written per output row (precomputed on the
+    /// span path; the original formula on the oracle).
+    fn out_row_bytes(&self, n: usize, t: usize) -> u64 {
+        match self {
+            TrafficProbes::Spans { spans, .. } => spans.out_row_bytes,
+            TrafficProbes::Address { .. } => {
+                ((n + POINTER_BITS) as u64 + (n as u64 / 10) * t as u64).div_ceil(8)
+            }
+        }
+    }
+
+    /// Tags the on-demand fetch of row `m`'s first `payload_bytes` packed
+    /// payload bytes (byte traffic is ledgered separately by the caller).
+    fn probe_a_payload(&mut self, cache: &mut SramCache, m: usize, payload_bytes: u64) {
+        match self {
+            TrafficProbes::Spans {
+                spans,
+                a_payload_residency,
+                ..
+            } => {
+                // The per-pair probe: same base line every pair of row
+                // `m`, only the length varies — the residency token's
+                // prefix salvage keeps it at one tag compare per line.
+                cache.probe_span_resident(
+                    spans.a_payload_span(m, payload_bytes),
+                    &mut a_payload_residency[m],
+                );
+            }
+            TrafficProbes::Address {
+                a_addr, bm_bytes, ..
+            } => {
+                cache.probe_range(a_addr[m] + *bm_bytes, payload_bytes);
+            }
+        }
+    }
+}
+
 impl Default for Loas {
     /// The Table III configuration.
     fn default() -> Self {
@@ -367,18 +512,15 @@ impl Accelerator for Loas {
         hbm.read_bits(TrafficClass::Weight, b_payload_bits);
         let line = self.config.cache_line_bytes as u64;
 
-        // Address map for the tag-accurate cache: A fibers then B.
-        let mut a_addr = Vec::with_capacity(shape.m);
-        let mut addr = 0u64;
-        for fiber in &layer.a_fibers {
-            a_addr.push(addr);
-            addr += fiber.storage_bits(shape.t).div_ceil(8) as u64;
-        }
-        let mut b_addr = Vec::with_capacity(shape.n);
-        for fiber in &layer.b_fibers {
-            b_addr.push(addr);
-            addr += fiber.storage_bits(self.config.weight_bits).div_ceil(8) as u64;
-        }
+        // Probe endpoints for the tag-accurate cache: the kernel strategy
+        // replays through the precomputed spans, the reference strategy
+        // through the original address arithmetic (the oracle).
+        let mut probes = match self.sweep {
+            SweepStrategy::Kernel => {
+                TrafficProbes::spans(layer, self.config.weight_bits, self.config.cache_line_bytes)
+            }
+            SweepStrategy::Reference => TrafficProbes::address(layer, self.config.weight_bits),
+        };
 
         let mut compute = 0u64;
         let mut verified_output = if self.verify_outputs {
@@ -399,7 +541,7 @@ impl Accelerator for Loas {
             let mut a_scatter = Vec::with_capacity(row_count);
             for m in rows.clone() {
                 let bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
-                let missed = cache.access_range(a_addr[m], bm_bytes, TrafficClass::Format);
+                let missed = probes.load_a_bitmask(&mut cache, m);
                 hbm.read(TrafficClass::Format, missed * line);
                 a_scatter.push(bm_bytes);
             }
@@ -410,13 +552,8 @@ impl Accelerator for Loas {
                 // bm-B + weights broadcast: one cache read serves all TPPEs.
                 let b_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
                 let b_payload_bytes = (fiber_b.nnz() * self.config.weight_bits).div_ceil(8) as u64;
-                let missed_bm = cache.access_range(b_addr[n], b_bm_bytes, TrafficClass::Format);
+                let missed_bm = probes.load_b_fiber(&mut cache, n, b_payload_bytes);
                 hbm.read(TrafficClass::Format, missed_bm * line);
-                cache.access_range(
-                    b_addr[n] + b_bm_bytes,
-                    b_payload_bytes,
-                    TrafficClass::Weight,
-                );
                 let b_load =
                     tppe.b_load_cycles(fiber_b.nnz()) + crossbar.broadcast_cycles(b_bm_bytes).get();
 
@@ -429,8 +566,7 @@ impl Accelerator for Loas {
                     // bytes ledgered, lines tagged (resident payload hits).
                     let payload_bytes = (matches * shape.t as u64).div_ceil(8);
                     cache.read_untagged(TrafficClass::Input, payload_bytes);
-                    let a_bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
-                    cache.probe_range(a_addr[m] + a_bm_bytes, payload_bytes);
+                    probes.probe_a_payload(&mut cache, m, payload_bytes);
 
                     if let Some(out) = verified_output.as_mut() {
                         let outcome = tppe.process_with(
@@ -467,8 +603,7 @@ impl Accelerator for Loas {
             // a bitmask + pointer per row plus packed payload at the ~90%
             // output sparsity the paper reports (Section II-B) — so that
             // verification mode never perturbs the performance model.
-            let out_row_bits =
-                (shape.n + POINTER_BITS) as u64 + (shape.n as u64 / 10) * shape.t as u64;
+            let out_row_bytes = probes.out_row_bytes(shape.n, shape.t);
             for m in rows {
                 if let Some(out) = verified_output.as_ref() {
                     // Exercise the real compressor datapath (discard filter
@@ -485,8 +620,8 @@ impl Accelerator for Loas {
                     }));
                     let _ = compressor.compress_row(&row_words_buf);
                 }
-                cache.write(TrafficClass::Output, out_row_bits.div_ceil(8));
-                hbm.write(TrafficClass::Output, out_row_bits.div_ceil(8));
+                cache.write(TrafficClass::Output, out_row_bytes);
+                hbm.write(TrafficClass::Output, out_row_bytes);
             }
         }
 

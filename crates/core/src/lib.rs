@@ -75,5 +75,5 @@ pub use inner_join::{reference_sums, InnerJoinUnit, JoinOutcome, JoinScratch};
 pub use metrics::{Accelerator, LayerReport, NetworkReport};
 pub use plif::{ParallelLif, PlifOutcome};
 pub use portable::{PortableError, PORTABLE_FORMAT};
-pub use prepared::PreparedLayer;
+pub use prepared::{PreparedLayer, TrafficSpans, DEFAULT_LINE_BYTES, DEFAULT_WEIGHT_BITS};
 pub use tppe::{Tppe, TppeOutcome};

@@ -6,9 +6,133 @@
 //! inputs.
 
 use crate::kernel::RowBlocks;
+use loas_sim::LineSpan;
 use loas_snn::LifParams;
 use loas_sparse::{Bitmask, CsrMatrix, PackedSpikes, SpikeFiber, WeightFiber, POINTER_BITS};
 use loas_workloads::{LayerShape, LayerWorkload};
+use std::borrow::Cow;
+
+/// The weight precision the prepare-time [`TrafficSpans`] are computed
+/// for (the Table III configuration every model defaults to).
+pub const DEFAULT_WEIGHT_BITS: usize = 8;
+
+/// The cache-line size the prepare-time [`TrafficSpans`] are computed for
+/// (the shared 64-byte FiberCache line of Table III).
+pub const DEFAULT_LINE_BYTES: usize = 64;
+
+/// Precomputed cache-line spans of every traffic object the LoAS replay
+/// touches, for one `(weight_bits, line_bytes)` geometry.
+///
+/// The tag-accurate traffic phase used to re-derive line numbers from
+/// abstract byte addresses on every probe. The address map is a pure
+/// function of the prepared fibers, so the spans are computed once at
+/// prepare time (for the default Table III geometry) and the replay does
+/// zero address arithmetic per pair: row/column objects are fixed
+/// [`LineSpan`]s, and the per-pair payload probe only varies in length
+/// from a precomputed `(first_line, intra-line offset)` base
+/// ([`TrafficSpans::a_payload_span`]).
+///
+/// The address map matches the original replay exactly: `A` fibers laid
+/// out back to back (bitmask + pointer bytes, then packed payload), then
+/// `B` fibers (bitmask + pointer bytes, then weight payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficSpans {
+    /// Weight precision the `B` payload spans assume.
+    pub weight_bits: usize,
+    /// Cache-line size all spans assume.
+    pub line_bytes: usize,
+    /// Bitmask + pointer bytes of one `A` row (uniform across rows).
+    pub a_bm_bytes: u64,
+    /// Per-row span of the `bm-A` (+ pointer) load.
+    pub a_bm_span: Vec<LineSpan>,
+    /// Per-row first line of the packed payload region.
+    pub a_payload_line: Vec<u64>,
+    /// Per-row byte offset of the payload start within its first line.
+    pub a_payload_intra: Vec<u64>,
+    /// Bitmask + pointer bytes of one `B` fiber (uniform across columns).
+    pub b_bm_bytes: u64,
+    /// Per-column span of the `bm-B` (+ pointer) broadcast.
+    pub b_bm_span: Vec<LineSpan>,
+    /// Per-column span of the non-zero weight payload.
+    pub b_payload_span: Vec<LineSpan>,
+    /// Compressed output bytes written per output row.
+    pub out_row_bytes: u64,
+}
+
+impl TrafficSpans {
+    /// Builds the span table for a prepared layer under the given
+    /// geometry, replicating the replay's original address map byte for
+    /// byte (asserted against the address-arithmetic formulas by the
+    /// equivalence property tests).
+    pub fn build(layer: &PreparedLayer, weight_bits: usize, line_bytes: usize) -> Self {
+        TrafficSpans::build_parts(
+            layer.shape,
+            &layer.a_fibers,
+            &layer.b_fibers,
+            weight_bits,
+            line_bytes,
+        )
+    }
+
+    fn build_parts(
+        shape: LayerShape,
+        a_fibers: &[SpikeFiber],
+        b_fibers: &[WeightFiber],
+        weight_bits: usize,
+        line_bytes: usize,
+    ) -> Self {
+        let bm_bytes = (shape.k + POINTER_BITS).div_ceil(8) as u64;
+        let line = line_bytes as u64;
+        let mut a_bm_span = Vec::with_capacity(shape.m);
+        let mut a_payload_line = Vec::with_capacity(shape.m);
+        let mut a_payload_intra = Vec::with_capacity(shape.m);
+        let mut addr = 0u64;
+        for fiber in a_fibers {
+            a_bm_span.push(LineSpan::of_range(addr, bm_bytes, line_bytes));
+            let payload = addr + bm_bytes;
+            a_payload_line.push(payload / line);
+            a_payload_intra.push(payload % line);
+            addr += fiber.storage_bits(shape.t).div_ceil(8) as u64;
+        }
+        let mut b_bm_span = Vec::with_capacity(shape.n);
+        let mut b_payload_span = Vec::with_capacity(shape.n);
+        for fiber in b_fibers {
+            b_bm_span.push(LineSpan::of_range(addr, bm_bytes, line_bytes));
+            let payload_bytes = (fiber.nnz() * weight_bits).div_ceil(8) as u64;
+            b_payload_span.push(LineSpan::of_range(
+                addr + bm_bytes,
+                payload_bytes,
+                line_bytes,
+            ));
+            addr += fiber.storage_bits(weight_bits).div_ceil(8) as u64;
+        }
+        let out_row_bits = (shape.n + POINTER_BITS) as u64 + (shape.n as u64 / 10) * shape.t as u64;
+        TrafficSpans {
+            weight_bits,
+            line_bytes,
+            a_bm_bytes: bm_bytes,
+            a_bm_span,
+            a_payload_line,
+            a_payload_intra,
+            b_bm_bytes: bm_bytes,
+            b_bm_span,
+            b_payload_span,
+            out_row_bytes: out_row_bits.div_ceil(8),
+        }
+    }
+
+    /// The span of the first `payload_bytes` bytes of row `m`'s packed
+    /// payload — the only per-pair varying probe of the replay.
+    #[inline]
+    pub fn a_payload_span(&self, m: usize, payload_bytes: u64) -> LineSpan {
+        LineSpan::tail(
+            self.a_payload_line[m],
+            self.a_payload_intra[m],
+            payload_bytes,
+            self.line_bytes,
+        )
+    }
+}
 
 /// A layer workload with every compressed view precomputed.
 #[derive(Debug, Clone)]
@@ -37,6 +161,10 @@ pub struct PreparedLayer {
     /// of the `O(K)` fired-count aggregate
     /// ([`crate::kernel::fired_grand_total`]).
     pub col_spikes: Vec<u32>,
+    /// Precomputed traffic-object line spans for the default Table III
+    /// geometry ([`DEFAULT_WEIGHT_BITS`], [`DEFAULT_LINE_BYTES`]);
+    /// [`PreparedLayer::traffic_spans`] rebuilds on the fly for others.
+    pub traffic_spans: TrafficSpans,
 }
 
 impl PreparedLayer {
@@ -64,6 +192,13 @@ impl PreparedLayer {
                 col_spikes[k] += word.fire_count() as u32;
             }
         }
+        let traffic_spans = TrafficSpans::build_parts(
+            shape,
+            &a_fibers,
+            &b_fibers,
+            DEFAULT_WEIGHT_BITS,
+            DEFAULT_LINE_BYTES,
+        );
         PreparedLayer {
             name: workload.name.clone(),
             shape,
@@ -74,6 +209,20 @@ impl PreparedLayer {
             b_row_nnz,
             row_blocks,
             col_spikes,
+            traffic_spans,
+        }
+    }
+
+    /// The traffic-span table for a given accelerator geometry: the
+    /// precomputed table when it matches (the default Table III
+    /// configuration), a freshly built one otherwise.
+    pub fn traffic_spans(&self, weight_bits: usize, line_bytes: usize) -> Cow<'_, TrafficSpans> {
+        if self.traffic_spans.weight_bits == weight_bits
+            && self.traffic_spans.line_bytes == line_bytes
+        {
+            Cow::Borrowed(&self.traffic_spans)
+        } else {
+            Cow::Owned(TrafficSpans::build(self, weight_bits, line_bytes))
         }
     }
 

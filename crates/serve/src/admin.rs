@@ -270,6 +270,32 @@ pub fn fsck(queue: &Queue, prune: bool) -> Result<FsckReport, ServeError> {
     Ok(report)
 }
 
+/// Renders the accelerator catalog as the `loas-serve models` listing:
+/// every registered model with its about-line and configuration fields
+/// (name, value kind, paper default) — the design-space discovery surface
+/// for writing v2 spec `config` overrides.
+pub fn catalog_listing() -> String {
+    loas_baselines::register_catalog();
+    loas_core::catalog::with(|catalog| {
+        let mut out = String::new();
+        for entry in catalog.entries() {
+            out.push_str(&format!("{}\n    {}\n", entry.name(), entry.about()));
+            let config = entry.default_config();
+            if config.fields().is_empty() {
+                out.push_str("    (no configuration fields)\n");
+            }
+            for (field, value) in config.fields() {
+                out.push_str(&format!(
+                    "    {field:<28} {:<8} default {value}\n",
+                    value.kind()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +463,35 @@ mod tests {
         assert!(!is_memo_entry_name("0123456789abcde.report"), "short");
         assert!(!is_memo_entry_name("0123456789abcdef.tmp"), "extension");
         assert!(!is_memo_entry_name("xyzw456789abcdef.report"), "non-hex");
+    }
+
+    #[test]
+    fn catalog_listing_names_every_model_and_its_fields() {
+        let listing = catalog_listing();
+        // Every registered model appears with its about-line and every
+        // configuration field with its kind and default — the sweepable
+        // design space a spec author needs.
+        for model in ["loas", "sparten", "gospa", "gamma", "ptb", "stellar"] {
+            assert!(
+                listing.contains(&format!("{model}\n")),
+                "missing model `{model}` in:\n{listing}"
+            );
+        }
+        loas_core::catalog::with(|catalog| {
+            for entry in catalog.entries() {
+                assert!(
+                    listing.contains(entry.about()),
+                    "about for {}",
+                    entry.name()
+                );
+                for (field, value) in entry.default_config().fields() {
+                    assert!(listing.contains(field), "field {field}");
+                    let _ = value;
+                }
+            }
+        });
+        assert!(listing.contains("cache_ways"), "gamma geometry knob listed");
+        assert!(listing.contains("integer"), "kinds printed");
+        assert!(listing.contains("boolean"), "loas mode flags printed");
     }
 }

@@ -12,6 +12,7 @@
 //! loas-serve requeue <dir> <campaign-id>
 //! loas-serve fsck <dir> [--prune]
 //! loas-serve status <dir>
+//! loas-serve models
 //! ```
 
 use loas_serve::spec_io::{campaign_to_json, gamma_cache_campaign, headline_campaign};
@@ -21,7 +22,7 @@ use loas_serve::{
 };
 use std::time::Duration;
 
-const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|requeue|fsck|status> ...
+const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|requeue|fsck|status|models> ...
   init <dir>                                   create a queue directory
   spec (--headline | --gamma-cache) [--quick] [--seed S]
                                                print a built-in campaign spec to stdout
@@ -37,7 +38,10 @@ const USAGE: &str = "usage: loas-serve <init|spec|enqueue|run|merge|requeue|fsck
   requeue <dir> <campaign-id>                  reset a failed campaign to queued
   fsck <dir> [--prune]                         integrity-check the memo store and
                                                reports tree (prune corruption/orphans)
-  status <dir>                                 list submissions and their states";
+  status <dir>                                 list submissions and their states
+  models                                       print the accelerator catalog: every
+                                               registered model with its config fields,
+                                               kinds, and paper defaults";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +54,7 @@ fn main() {
         Some("requeue") => cmd_requeue(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("models") => cmd_models(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             return;
@@ -274,6 +279,14 @@ fn cmd_fsck(args: &[String]) -> Result<(), ServeError> {
             dir
         )));
     }
+    Ok(())
+}
+
+fn cmd_models(args: &[String]) -> Result<(), ServeError> {
+    if !args.is_empty() {
+        return Err(usage("models takes no arguments"));
+    }
+    print!("{}", loas_serve::catalog_listing());
     Ok(())
 }
 

@@ -70,7 +70,9 @@ mod runner;
 mod shard;
 pub mod spec_io;
 
-pub use admin::{collect_spec_paths, enqueue_batch, fsck, requeue, FsckReport, ORPHAN_GRACE};
+pub use admin::{
+    catalog_listing, collect_spec_paths, enqueue_batch, fsck, requeue, FsckReport, ORPHAN_GRACE,
+};
 pub use error::ServeError;
 pub use queue::{CampaignState, Queue, Submission};
 pub use runner::{drain, merge, watch, CampaignProgress, RunOptions, RunSummary};

@@ -49,5 +49,7 @@ pub use clock::{ClockDomain, Cycle};
 pub use crossbar::Crossbar;
 pub use energy::{EnergyBreakdown, EnergyModel, EnergyParams};
 pub use fifo::Fifo;
-pub use memory::{Access, DoubleBuffer, HbmModel, ScratchBuffer, SramCache};
+pub use memory::{
+    Access, DoubleBuffer, HbmModel, LineSpan, ScratchBuffer, SpanResidency, SramCache,
+};
 pub use stats::{CacheStats, OpCounts, SimStats, TrafficClass, TrafficLedger};

@@ -6,4 +6,4 @@ mod sram;
 
 pub use buffer::{DoubleBuffer, ScratchBuffer};
 pub use dram::HbmModel;
-pub use sram::{Access, SramCache};
+pub use sram::{Access, LineSpan, SpanResidency, SramCache};

@@ -5,8 +5,36 @@
 //! here simulates tag behaviour (LRU within each set) to produce the
 //! normalized miss-rate comparison of Fig. 14, and ledgers all read/write
 //! bytes for the on-chip traffic plots of Fig. 13.
+//!
+//! # Simulator performance (PR 5)
+//!
+//! Three layers of mechanism keep the tag-accurate model off the profile
+//! without changing a single hit/miss outcome:
+//!
+//! 1. **Indexed lookup** — resident lines live in an O(1) hash index
+//!    (line id → slot), replacing the per-access linear scan over the
+//!    `ways` tags of a set (16 compares per access in the default
+//!    geometry). The LRU victim scan on a miss is unchanged — and provably
+//!    identical, because valid ways always form the prefix `[0, filled)`
+//!    of a set.
+//! 2. **Span batching** — callers that touch a multi-line object describe
+//!    it once as a [`LineSpan`] and call [`SramCache::access_span`] /
+//!    [`SramCache::probe_span`]: one ledger record and one tight loop
+//!    instead of a function call per 64-byte line.
+//! 3. **Residency fast path** — a caller that re-touches the same span
+//!    many times (Gamma's B-row walk, LoAS's per-tile fiber-B broadcast)
+//!    keeps a [`SpanResidency`] token. The cache tracks, per set, the tick
+//!    of the last eviction; when a span's last full probe postdates every
+//!    eviction in its sets, every line is still resident, so the access is
+//!    all-hits and only the LRU/tick updates run — no tag compares at all.
+//!    When the whole-span check fails (or the probe length varies, as in
+//!    the per-pair payload probes), a per-line salvage tier revalidates
+//!    each recorded slot with a single tag compare before falling back to
+//!    the hash index.
 
 use crate::stats::{CacheStats, TrafficClass, TrafficLedger};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 /// Result of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +43,125 @@ pub enum Access {
     Hit,
     /// The line was fetched (and possibly evicted another line).
     Miss,
+}
+
+/// A contiguous run of cache lines covering one object, precomputed so the
+/// hot replay loops do no per-access address arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineSpan {
+    /// First covering line id.
+    pub first_line: u64,
+    /// Number of covering lines (0 for empty objects).
+    pub n_lines: u64,
+}
+
+impl LineSpan {
+    /// The lines covering `bytes` bytes starting at abstract address
+    /// `addr`. Saturating span math: an object extending past `u64::MAX`
+    /// clamps to the last representable line instead of wrapping around to
+    /// line 0 (the `addr + bytes - 1` overflow hazard of the original
+    /// `access_range`).
+    pub fn of_range(addr: u64, bytes: u64, line_bytes: usize) -> Self {
+        if bytes == 0 {
+            return LineSpan::default();
+        }
+        let line = line_bytes as u64;
+        let first = addr / line;
+        let last = addr.saturating_add(bytes - 1) / line;
+        LineSpan {
+            first_line: first,
+            n_lines: last - first + 1,
+        }
+    }
+
+    /// The lines covering `bytes` bytes starting `intra` bytes into line
+    /// `first_line` — the per-pair form: base line and intra-line offset
+    /// are precomputed once per row, only the length varies per pair.
+    /// Clamps to the last representable line like
+    /// [`LineSpan::of_range`], so spans never wrap past `u64::MAX`.
+    pub fn tail(first_line: u64, intra: u64, bytes: u64, line_bytes: usize) -> Self {
+        if bytes == 0 {
+            return LineSpan::default();
+        }
+        let extra_lines =
+            (intra.saturating_add(bytes - 1) / line_bytes as u64).min(u64::MAX - first_line);
+        LineSpan {
+            first_line,
+            // Saturates for the degenerate full-address-space span (the
+            // count 2^64 is unrepresentable; the last line is dropped).
+            n_lines: extra_lines.saturating_add(1),
+        }
+    }
+
+    /// Whether the span covers no lines.
+    pub fn is_empty(&self) -> bool {
+        self.n_lines == 0
+    }
+}
+
+/// A caller-held residency token for a [`LineSpan`] that is probed
+/// repeatedly (see [`SramCache::access_span_resident`]). Holds the span's
+/// slots as of its last recording plus the tick its last full probe
+/// finished at; the cache validates them against its per-set eviction
+/// epochs (whole-span all-hits fast path) or per line against the tag
+/// array (salvage path, one compare per line instead of a hash probe).
+///
+/// A token is bound to one base address: probes through the same token
+/// may vary in length (`n_lines`) — shorter probes reuse the recorded
+/// slot prefix, longer ones extend it — which is what the per-pair
+/// payload probes of the LoAS replay need.
+#[derive(Debug, Clone, Default)]
+pub struct SpanResidency {
+    /// The longest span recorded through this token (fast paths only fire
+    /// on a matching `first_line`, so reusing a token across objects
+    /// degrades safely to the slow path).
+    span: LineSpan,
+    /// Tick at which the last probe covering the whole recorded span
+    /// completed (0: never).
+    last_full_tick: u64,
+    /// Cache generation the slots were recorded in.
+    generation: u64,
+    /// Epoch-path eligibility: spans longer than the set count can evict
+    /// their own earlier lines mid-probe, so they never take the
+    /// whole-span fast path (the per-line salvage path still applies).
+    eligible: bool,
+    /// Slot of each recorded line, in span order.
+    slots: Vec<u32>,
+}
+
+/// Hashes abstract line ids with one multiply + xor-shift — line ids are
+/// already well-distributed addresses, so SipHash would be pure overhead
+/// on the hottest loop of the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LineIdHash;
+
+struct LineIdHasher(u64);
+
+impl Hasher for LineIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; keep a correct fallback anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut h = value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+impl BuildHasher for LineIdHash {
+    type Hasher = LineIdHasher;
+
+    fn build_hasher(&self) -> LineIdHasher {
+        LineIdHasher(0)
+    }
 }
 
 /// A set-associative cache with per-set LRU replacement.
@@ -43,6 +190,15 @@ pub struct SramCache {
     tags: Vec<Option<u64>>,
     /// LRU counters parallel to `tags` (higher = more recently used).
     lru: Vec<u64>,
+    /// Resident-line index: line id → slot in `tags`/`lru`. Kept exactly
+    /// in sync with `tags` so lookups are O(1) instead of O(ways).
+    index: HashMap<u64, u32, LineIdHash>,
+    /// Per-set tick of the last eviction (0: never evicted). Insertions
+    /// into invalid ways displace nothing and leave the epoch untouched.
+    evict_epoch: Vec<u64>,
+    /// Bumped on [`SramCache::take_results`] so stale [`SpanResidency`]
+    /// tokens recorded before a reset never validate.
+    generation: u64,
     tick: u64,
     stats: CacheStats,
     traffic: TrafficLedger,
@@ -65,6 +221,7 @@ impl SramCache {
         assert!(line_bytes > 0 && ways > 0 && banks > 0, "degenerate cache");
         let lines = capacity_bytes / line_bytes;
         assert!(lines >= ways, "capacity below one set");
+        assert!(lines <= u32::MAX as usize, "slot ids are u32");
         let sets = lines / ways;
         SramCache {
             line_bytes,
@@ -73,6 +230,9 @@ impl SramCache {
             banks,
             tags: vec![None; sets * ways],
             lru: vec![0; sets * ways],
+            index: HashMap::with_capacity_and_hasher(sets * ways, LineIdHash),
+            evict_epoch: vec![0; sets],
+            generation: 0,
             tick: 0,
             stats: CacheStats::default(),
             traffic: TrafficLedger::new(),
@@ -94,23 +254,40 @@ impl SramCache {
         self.banks
     }
 
-    /// Looks up line `line_id`, inserting on miss (LRU eviction). Records
-    /// one line of SRAM read traffic of the given class.
-    pub fn access_line(&mut self, line_id: u64, class: TrafficClass) -> Access {
-        self.traffic.record(class, self.line_bytes as u64);
+    /// Number of sets (the wrap bound for span fast-path eligibility).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// The [`LineSpan`] covering `bytes` at `addr` under this cache's line
+    /// size.
+    pub fn span_of(&self, addr: u64, bytes: u64) -> LineSpan {
+        LineSpan::of_range(addr, bytes, self.line_bytes)
+    }
+
+    /// Tag-touches one line without ledgering traffic: the shared core of
+    /// every access/probe entry point. Returns the outcome and the line's
+    /// slot after the access.
+    #[inline]
+    fn touch_line(&mut self, line_id: u64) -> (Access, u32) {
         self.tick += 1;
+        self.lookup_ticked(line_id)
+    }
+
+    /// [`SramCache::touch_line`] with the tick already advanced (the
+    /// salvage path bumps the tick before its tag compare).
+    #[inline]
+    fn lookup_ticked(&mut self, line_id: u64) -> (Access, u32) {
+        if let Some(&slot) = self.index.get(&line_id) {
+            self.lru[slot as usize] = self.tick;
+            self.stats.hits += 1;
+            return (Access::Hit, slot);
+        }
+        // Miss: evict LRU way (invalid ways preferred, lowest index first —
+        // the exact victim order of the pre-index linear-scan model).
+        self.stats.misses += 1;
         let set = (line_id % self.sets as u64) as usize;
         let base = set * self.ways;
-        // Hit?
-        for way in 0..self.ways {
-            if self.tags[base + way] == Some(line_id) {
-                self.lru[base + way] = self.tick;
-                self.stats.hits += 1;
-                return Access::Hit;
-            }
-        }
-        // Miss: evict LRU way.
-        self.stats.misses += 1;
         let victim = (0..self.ways)
             .min_by_key(|&w| {
                 if self.tags[base + w].is_none() {
@@ -120,40 +297,211 @@ impl SramCache {
                 }
             })
             .expect("ways > 0");
-        self.tags[base + victim] = Some(line_id);
-        self.lru[base + victim] = self.tick;
-        Access::Miss
+        let slot = base + victim;
+        if let Some(evicted) = self.tags[slot] {
+            self.index.remove(&evicted);
+            self.evict_epoch[set] = self.tick;
+        }
+        self.tags[slot] = Some(line_id);
+        self.lru[slot] = self.tick;
+        self.index.insert(line_id, slot as u32);
+        (Access::Miss, slot as u32)
+    }
+
+    /// Looks up line `line_id`, inserting on miss (LRU eviction). Records
+    /// one line of SRAM read traffic of the given class.
+    #[inline]
+    pub fn access_line(&mut self, line_id: u64, class: TrafficClass) -> Access {
+        self.traffic.record(class, self.line_bytes as u64);
+        self.touch_line(line_id).0
     }
 
     /// Accesses an object spanning `bytes` starting at abstract address
     /// `addr`: touches every covering line, returns the number of missed
-    /// lines.
+    /// lines. Span math saturates, so objects extending past `u64::MAX`
+    /// clamp to the last line instead of wrapping.
     pub fn access_range(&mut self, addr: u64, bytes: u64, class: TrafficClass) -> u64 {
-        if bytes == 0 {
+        self.access_span(self.span_of(addr, bytes), class)
+    }
+
+    /// Tags an access like [`SramCache::access_range`] but without
+    /// ledgering line traffic — for sub-line streaming reads whose exact
+    /// byte traffic the caller ledgers separately via
+    /// [`SramCache::read_untagged`].
+    pub fn probe_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        self.probe_span(self.span_of(addr, bytes))
+    }
+
+    /// Accesses every line of a precomputed span, ledgering one record of
+    /// `n_lines` lines of read traffic. Hit/miss outcomes, statistics, and
+    /// LRU state are identical to looping [`SramCache::access_line`] over
+    /// the span.
+    #[inline]
+    pub fn access_span(&mut self, span: LineSpan, class: TrafficClass) -> u64 {
+        if span.is_empty() {
             return 0;
         }
-        let first = addr / self.line_bytes as u64;
-        let last = (addr + bytes - 1) / self.line_bytes as u64;
+        self.traffic
+            .record(class, span.n_lines * self.line_bytes as u64);
+        self.touch_span(span)
+    }
+
+    /// Tag-touches every line of a span without ledgering traffic (the
+    /// span form of [`SramCache::probe_range`]).
+    #[inline]
+    pub fn probe_span(&mut self, span: LineSpan) -> u64 {
+        self.touch_span(span)
+    }
+
+    #[inline]
+    fn touch_span(&mut self, span: LineSpan) -> u64 {
         let mut missed = 0;
-        for line in first..=last {
-            if self.access_line(line, class) == Access::Miss {
+        for i in 0..span.n_lines {
+            if self.touch_line(span.first_line + i).0 == Access::Miss {
                 missed += 1;
             }
         }
         missed
     }
 
-    /// Tags an access like [`SramCache::access_range`] but without ledgering
-    /// line traffic — for sub-line streaming reads whose exact byte traffic
-    /// the caller ledgers separately via [`SramCache::read_untagged`].
-    pub fn probe_range(&mut self, addr: u64, bytes: u64) -> u64 {
-        if bytes == 0 {
+    /// Like [`SramCache::access_span`] for a span the caller probes
+    /// repeatedly, carrying a [`SpanResidency`] token between calls. When
+    /// the token's last full probe postdates every eviction in the span's
+    /// sets, all lines are provably still resident: the access is counted
+    /// as `n_lines` hits and only the LRU/tick updates run. Outcomes are
+    /// identical to the untracked span call for every access sequence.
+    #[inline]
+    pub fn access_span_resident(
+        &mut self,
+        span: LineSpan,
+        residency: &mut SpanResidency,
+        class: TrafficClass,
+    ) -> u64 {
+        if span.is_empty() {
             return 0;
         }
-        let saved = self.traffic;
-        let missed = self.access_range(addr, bytes, TrafficClass::Other);
-        self.traffic = saved;
+        self.traffic
+            .record(class, span.n_lines * self.line_bytes as u64);
+        if self.span_all_resident(span, residency) {
+            self.touch_resident_hits(span, residency);
+            return 0;
+        }
+        self.touch_span_fallback(span, residency)
+    }
+
+    /// The probe (non-ledgering) form of [`SramCache::access_span_resident`].
+    #[inline]
+    pub fn probe_span_resident(&mut self, span: LineSpan, residency: &mut SpanResidency) -> u64 {
+        if span.is_empty() {
+            return 0;
+        }
+        if self.span_all_resident(span, residency) {
+            self.touch_resident_hits(span, residency);
+            return 0;
+        }
+        self.touch_span_fallback(span, residency)
+    }
+
+    /// Whole-span all-hits fast path: per line, in span order, the same
+    /// tick/LRU updates the slow path would perform — and nothing else (no
+    /// tag reads, no hashing).
+    #[inline]
+    fn touch_resident_hits(&mut self, span: LineSpan, residency: &mut SpanResidency) {
+        let mut tick = self.tick;
+        for &slot in &residency.slots {
+            tick += 1;
+            self.lru[slot as usize] = tick;
+        }
+        self.tick = tick;
+        self.stats.hits += span.n_lines;
+        residency.last_full_tick = tick;
+    }
+
+    /// The salvage and recording tiers of a tracked span touch — outlined
+    /// so the all-resident fast path above stays small enough to inline
+    /// into the replay loops.
+    fn touch_span_fallback(&mut self, span: LineSpan, residency: &mut SpanResidency) -> u64 {
+        if residency.generation == self.generation && residency.span.first_line == span.first_line {
+            // Per-line salvage: a recorded slot whose tag still matches is
+            // a hit validated by one array compare (no hash probe); stale
+            // or unrecorded lines take the indexed lookup. A probe may be
+            // shorter than the recorded span (reuse the slot prefix) or
+            // longer (extend it) — what the varying-length payload probes
+            // of the traffic replay need.
+            let recorded = residency.slots.len() as u64;
+            let common = span.n_lines.min(recorded);
+            let mut missed = 0;
+            for i in 0..common {
+                let line = span.first_line + i;
+                let slot = residency.slots[i as usize];
+                self.tick += 1;
+                if self.tags[slot as usize] == Some(line) {
+                    self.lru[slot as usize] = self.tick;
+                    self.stats.hits += 1;
+                } else {
+                    let (access, new_slot) = self.lookup_ticked(line);
+                    if access == Access::Miss {
+                        missed += 1;
+                    }
+                    residency.slots[i as usize] = new_slot;
+                }
+            }
+            for i in common..span.n_lines {
+                let (access, slot) = self.touch_line(span.first_line + i);
+                if access == Access::Miss {
+                    missed += 1;
+                }
+                residency.slots.push(slot);
+            }
+            if span.n_lines >= residency.span.n_lines {
+                // The probe covered the whole recorded prefix: the token
+                // now vouches for it as of this tick. (A shorter probe
+                // keeps the older vouch — still sound, because the epoch
+                // check rejects any set evicted since that tick.)
+                residency.span = span;
+                residency.eligible = span.n_lines <= self.sets as u64;
+                residency.last_full_tick = self.tick;
+            }
+            return missed;
+        }
+        // First recording (or a token rebound to a new base address).
+        residency.span = span;
+        residency.generation = self.generation;
+        residency.eligible = span.n_lines <= self.sets as u64;
+        residency.slots.clear();
+        residency.slots.reserve(span.n_lines as usize);
+        let mut missed = 0;
+        for i in 0..span.n_lines {
+            let (access, slot) = self.touch_line(span.first_line + i);
+            if access == Access::Miss {
+                missed += 1;
+            }
+            residency.slots.push(slot);
+        }
+        residency.last_full_tick = self.tick;
         missed
+    }
+
+    /// Whether every line of `span` is provably resident: the token is
+    /// bound to this span in this cache generation, the span cannot evict
+    /// its own lines (distinct sets), and no set the span maps to has
+    /// evicted since the token's last full probe. Lines of a fully-probed
+    /// span are resident at probe end; residency is only ever ended by an
+    /// eviction in the line's set; therefore no eviction since ⇒ all
+    /// resident (and their slots unchanged).
+    #[inline]
+    fn span_all_resident(&self, span: LineSpan, residency: &SpanResidency) -> bool {
+        let bound = residency.eligible
+            & (residency.last_full_tick != 0)
+            & (residency.generation == self.generation)
+            & (residency.span == span);
+        if !bound {
+            return false;
+        }
+        let sets = self.sets as u64;
+        (0..span.n_lines).all(|i| {
+            self.evict_epoch[((span.first_line + i) % sets) as usize] <= residency.last_full_tick
+        })
     }
 
     /// Records a write of `bytes` (writes are ledgered, not tagged: the
@@ -184,8 +532,23 @@ impl SramCache {
         self.stats = CacheStats::default();
         self.tags.fill(None);
         self.lru.fill(0);
+        self.index.clear();
+        self.evict_epoch.fill(0);
+        self.generation += 1;
         self.tick = 0;
         out
+    }
+
+    /// Full tag/LRU state in slot order — an equivalence-test hook (tag
+    /// arrays equal ⇒ every eviction picked the same victim), not a
+    /// modeling API.
+    #[doc(hidden)]
+    pub fn tag_snapshot(&self) -> Vec<(Option<u64>, u64)> {
+        self.tags
+            .iter()
+            .copied()
+            .zip(self.lru.iter().copied())
+            .collect()
     }
 }
 
@@ -199,6 +562,7 @@ mod tests {
         assert_eq!(c.capacity_bytes(), 256 * 1024);
         assert_eq!(c.banks(), 16);
         assert_eq!(c.line_bytes(), 64);
+        assert_eq!(c.sets(), 256);
     }
 
     #[test]
@@ -232,6 +596,143 @@ mod tests {
     }
 
     #[test]
+    fn access_range_saturates_instead_of_wrapping() {
+        // Regression: `addr + bytes - 1` used to wrap for objects near the
+        // top of the address space, touching line 0 instead of the tail.
+        let mut c = SramCache::new(16 * 64, 64, 4, 1);
+        let addr = u64::MAX - 100;
+        let missed = c.access_range(addr, 1000, TrafficClass::Weight);
+        let first = addr / 64;
+        let last = u64::MAX / 64;
+        assert_eq!(missed, last - first + 1);
+        // The clamped span re-touches as all hits; line 0 was never pulled.
+        assert_eq!(c.access_range(addr, 1000, TrafficClass::Weight), 0);
+        assert_eq!(c.access_line(0, TrafficClass::Weight), Access::Miss);
+        // The span helper agrees with the saturating math.
+        let span = LineSpan::of_range(addr, 1000, 64);
+        assert_eq!(span.first_line, first);
+        assert_eq!(span.n_lines, last - first + 1);
+    }
+
+    #[test]
+    fn span_of_range_and_tail_agree() {
+        for (addr, bytes) in [(0u64, 1u64), (63, 1), (63, 2), (100, 700), (64, 0)] {
+            let direct = LineSpan::of_range(addr, bytes, 64);
+            let tail = LineSpan::tail(addr / 64, addr % 64, bytes, 64);
+            assert_eq!(direct, tail, "addr {addr} bytes {bytes}");
+        }
+        assert!(LineSpan::of_range(4, 0, 64).is_empty());
+        // Each form clamps in its own address space instead of wrapping:
+        // `of_range` at the last byte-addressable line, `tail` at the last
+        // line id (its base is a line id, not a byte address).
+        let top = LineSpan::tail(u64::MAX, 63, 1_000_000, 64);
+        assert_eq!(top.first_line, u64::MAX);
+        assert_eq!(top.n_lines, 1);
+        let near_top = LineSpan::tail(u64::MAX - 3, 0, u64::MAX, 64);
+        assert_eq!(near_top.n_lines, 4);
+        // Degenerate full-address-space span: the count saturates instead
+        // of overflowing to an empty (or panicking) span.
+        let everything = LineSpan::tail(0, u64::MAX, 2, 1);
+        assert_eq!(everything.n_lines, u64::MAX);
+    }
+
+    #[test]
+    fn span_calls_match_per_line_loop() {
+        let mut spanned = SramCache::new(8 * 64, 64, 2, 1);
+        let mut lined = SramCache::new(8 * 64, 64, 2, 1);
+        for (addr, bytes) in [(0u64, 500u64), (120, 130), (0, 500), (4096, 64)] {
+            let span = spanned.span_of(addr, bytes);
+            let a = spanned.access_span(span, TrafficClass::Weight);
+            let mut b = 0;
+            for i in 0..span.n_lines {
+                if lined.access_line(span.first_line + i, TrafficClass::Weight) == Access::Miss {
+                    b += 1;
+                }
+            }
+            assert_eq!(a, b, "addr {addr} bytes {bytes}");
+        }
+        assert_eq!(spanned.stats(), lined.stats());
+        assert_eq!(spanned.traffic(), lined.traffic());
+        assert_eq!(spanned.tag_snapshot(), lined.tag_snapshot());
+    }
+
+    #[test]
+    fn resident_fast_path_matches_slow_path() {
+        // Two identical caches: one probes a hot span through a residency
+        // token, the other through the plain span API. Interleave accesses
+        // that do and do not evict the hot span's sets.
+        let mut fast = SramCache::new(8 * 64, 64, 2, 1); // 4 sets
+        let mut slow = SramCache::new(8 * 64, 64, 2, 1);
+        let hot = LineSpan {
+            first_line: 0,
+            n_lines: 3,
+        };
+        let mut token = SpanResidency::default();
+        for round in 0..20u64 {
+            let a = fast.access_span_resident(hot, &mut token, TrafficClass::Weight);
+            let b = slow.access_span(hot, TrafficClass::Weight);
+            assert_eq!(a, b, "round {round}");
+            // Pressure: collides with the hot sets every third round.
+            if round % 3 == 0 {
+                for i in 0..3 {
+                    let line = 100 + round * 8 + i * 4;
+                    assert_eq!(
+                        fast.access_line(line, TrafficClass::Input),
+                        slow.access_line(line, TrafficClass::Input)
+                    );
+                }
+            }
+        }
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.traffic(), slow.traffic());
+        assert_eq!(fast.tag_snapshot(), slow.tag_snapshot());
+    }
+
+    #[test]
+    fn resident_fast_path_survives_take_results() {
+        let mut c = SramCache::new(8 * 64, 64, 2, 1);
+        let span = LineSpan {
+            first_line: 0,
+            n_lines: 2,
+        };
+        let mut token = SpanResidency::default();
+        assert_eq!(
+            c.access_span_resident(span, &mut token, TrafficClass::Weight),
+            2
+        );
+        assert_eq!(
+            c.access_span_resident(span, &mut token, TrafficClass::Weight),
+            0
+        );
+        let _ = c.take_results();
+        // A stale token from before the reset must not claim residency.
+        assert_eq!(
+            c.access_span_resident(span, &mut token, TrafficClass::Weight),
+            2
+        );
+    }
+
+    #[test]
+    fn spans_longer_than_the_set_count_never_fast_path() {
+        // 4 sets: a 9-line span wraps and can evict its own earlier lines,
+        // so every probe must take the full tag walk.
+        let mut c = SramCache::new(8 * 64, 64, 2, 1);
+        let span = LineSpan {
+            first_line: 0,
+            n_lines: 9,
+        };
+        let mut token = SpanResidency::default();
+        let mut reference = SramCache::new(8 * 64, 64, 2, 1);
+        for _ in 0..4 {
+            let a = c.access_span_resident(span, &mut token, TrafficClass::Weight);
+            let b = reference.access_span(span, TrafficClass::Weight);
+            assert_eq!(a, b);
+        }
+        assert_eq!(c.stats(), reference.stats());
+        assert_eq!(c.tag_snapshot(), reference.tag_snapshot());
+    }
+
+    #[test]
     fn traffic_ledgered_per_line() {
         let mut c = SramCache::new(1024, 64, 2, 1);
         c.access_line(0, TrafficClass::Weight);
@@ -240,6 +741,22 @@ mod tests {
         assert_eq!(c.traffic().get(TrafficClass::Weight), 64);
         assert_eq!(c.traffic().get(TrafficClass::Output), 10);
         assert_eq!(c.traffic().total(), 80);
+    }
+
+    #[test]
+    fn probe_span_tags_without_ledgering() {
+        let mut c = SramCache::new(1024, 64, 2, 1);
+        assert_eq!(c.probe_range(0, 100), 2);
+        assert_eq!(c.traffic().total(), 0);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(
+            c.probe_span(LineSpan {
+                first_line: 0,
+                n_lines: 2
+            }),
+            0
+        );
+        assert_eq!(c.stats().hits, 2);
     }
 
     #[test]
